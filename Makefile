@@ -1,0 +1,29 @@
+# Convenience targets for the repro library.
+
+.PHONY: install test bench bench-verbose examples report all clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -q
+
+bench-verbose:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex"; python $$ex || exit 1; \
+	done
+
+report:
+	python -m repro write-report
+
+all: test bench
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_benchmark .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,59 @@
+"""Section VIII.B: memory capacity, the process roadmap, and use cases.
+
+Regenerates the discussion's quantitative content: the 18/40/50 GB SRAM
+roadmap with what each generation holds; and the four cited compact
+applications — pilot-in-the-loop helicopter/ship CFD (real time on ~1 M
+cells), wind-turbine shape optimization (sequential campaigns on 14-50 M
+cells), the 1,505-run carbon-capture UQ campaign, and full-scale ship
+self-propulsion (83 h per case on an engineering cluster).
+"""
+
+from repro.analysis import format_table
+from repro.perfmodel import (
+    APPLICATIONS,
+    ROADMAP,
+    assess_application,
+    max_cube_edge,
+    max_meshpoints,
+)
+from repro.perfmodel.capacity import SOLVER_WORDS_PER_POINT
+
+
+def _assess_all():
+    return [assess_application(app) for app in APPLICATIONS]
+
+
+def test_capacity_report(benchmark):
+    assessments = benchmark(_assess_all)
+
+    print()
+    print(format_table(
+        ["generation", "SRAM (GB)", "max CFD cells (M)",
+         "max cube", "solver-only cells (M)"],
+        [(n.name, round(n.sram_gb, 0),
+          round(max_meshpoints(n) / 1e6, 0), f"{max_cube_edge(n)}^3",
+          round(max_meshpoints(n, SOLVER_WORDS_PER_POINT) / 1e6, 0))
+         for n in ROADMAP],
+        title="wafer SRAM roadmap (paper: 18 GB -> ~40 GB @7nm -> 50 GB @5nm)",
+    ))
+    print()
+    print(format_table(
+        ["application", "cells (M)", "fits", "steps/s", "real-time margin",
+         "campaign speedup"],
+        [(a.application.name[:42], round(a.application.cells / 1e6, 1),
+          "yes" if a.fits else "NO", round(a.steps_per_second, 1),
+          "-" if a.realtime_factor is None else f"{a.realtime_factor:.1f}x",
+          "-" if a.speedup is None else f"{a.speedup:.0f}x")
+         for a in assessments],
+        title="section VIII use cases on the CS-1 (campaign model: 2000 "
+              "timesteps/run; 'speedup' compares cited wall time)",
+    ))
+
+    by = {a.application.name: a for a in assessments}
+    heli = next(a for n, a in by.items() if "helicopter" in n)
+    assert heli.fits and heli.realtime_factor > 1.0
+    assert all(a.fits for a in assessments)
+    uq = next(a for n, a in by.items() if "carbon-capture" in n)
+    assert uq.speedup > 50
+    # The roadmap claims.
+    assert [round(n.sram_gb) for n in ROADMAP] == [18, 40, 50]

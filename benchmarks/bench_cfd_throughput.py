@@ -1,0 +1,53 @@
+"""Section VI.A: CFD-on-the-CS-1 throughput projection.
+
+Regenerates: "Assuming a problem size of 600x600x600 and 15 simple
+iterations per time step, and we expect to achieve between 80 and 125
+timesteps per second. This places the likely performance of CS-1 above
+200 times faster than for MFiX runs on a 16,384-core partition of the
+NETL Joule cluster."  A live SIMPLE iteration on the lid-driven cavity
+anchors the phase model in executable code.
+"""
+
+from repro.analysis import format_table, paper_vs_measured
+from repro.cfd import lid_driven_cavity
+from repro.perfmodel import SimpleCostModel
+
+
+def _one_simple_iteration():
+    solver = lid_driven_cavity(n=16, reynolds=100.0)
+    field = solver.initialize()
+    return solver.iterate(field)
+
+
+def test_cfd_throughput_report(benchmark):
+    benchmark.pedantic(_one_simple_iteration, rounds=3, iterations=1)
+
+    model = SimpleCostModel()
+    lo, hi = model.timesteps_per_second_range()
+    mid = model.timesteps_per_second()
+    conservative = SimpleCostModel(include_allreduce=True).timesteps_per_second()
+
+    print()
+    print(paper_vs_measured([
+        {"quantity": "timesteps/s @600^3, 15 SIMPLE iters",
+         "paper": "80-125", "measured": f"{lo:.0f}-{hi:.0f} (mid {mid:.0f})"},
+        {"quantity": "speedup vs 16K-core Joule", "paper": "> 200",
+         "measured": round(model.joule_speedup(), 0)},
+        {"quantity": "timesteps/s incl. AllReduce latency", "paper": "-",
+         "measured": round(conservative, 1), "note": "conservative ablation"},
+    ]))
+
+    rows = []
+    for iters in (5, 10, 15, 20):
+        m = SimpleCostModel(simple_iters=iters)
+        rows.append((iters, round(m.timesteps_per_second(), 1),
+                     round(m.seconds_per_timestep() * 1e3, 2)))
+    print()
+    print(format_table(
+        ["SIMPLE iters/step", "timesteps/s", "ms/timestep"],
+        rows,
+        title="sensitivity to SIMPLE iterations per timestep (600^3)",
+    ))
+
+    assert lo < 125 and hi > 80
+    assert model.joule_speedup() > 200

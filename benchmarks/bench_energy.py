@@ -1,0 +1,40 @@
+"""Abstract / section I: performance per watt and per rack.
+
+Regenerates the quantitative backing for "The achieved performance per
+Watt (at 20 kW) and for the size of the machine (1/3 rack) are beyond
+what has been reported for conventional machines on comparable
+problems": joules per BiCGStab iteration, GFLOPS/W, and rack count on
+both modeled machines.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.perfmodel import EnergyModel
+
+
+def test_energy_report(benchmark):
+    model = EnergyModel()
+    cmp = benchmark(model.compare)
+
+    print()
+    print(format_table(
+        ["quantity", "CS-1 (600x595x1536, fp16)", "Joule 16K cores (600^3, fp64)"],
+        [
+            ("joules / iteration", round(cmp.wafer_joules_per_iteration, 3),
+             round(cmp.cluster_joules_per_iteration, 1)),
+            ("GFLOPS / W", round(cmp.wafer_gflops_per_watt, 1),
+             round(cmp.cluster_gflops_per_watt, 4)),
+            ("pJ / flop", round(model.wafer_picojoules_per_flop(), 1),
+             round(1e3 / cmp.cluster_gflops_per_watt, 0)),
+            ("racks", "1/3", round(cmp.cluster_racks, 1)),
+        ],
+        title="energy and space per BiCGStab iteration",
+    ))
+    print(f"\nenergy ratio per iteration: {cmp.energy_ratio:.0f}x "
+          "(the time ratio is ~218x; the cluster also draws ~8x the power)")
+
+    assert cmp.wafer_gflops_per_watt == pytest.approx(43.0, rel=0.02)
+    assert cmp.wafer_gflops_per_watt / cmp.cluster_gflops_per_watt > 1000
+    assert cmp.energy_ratio > cmp.cluster_racks  # sanity: both large
+    assert cmp.wafer_racks < 1 < cmp.cluster_racks

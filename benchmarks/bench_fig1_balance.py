@@ -1,0 +1,42 @@
+"""Fig. 1: flops per word (memory, interconnect) machine-balance chart.
+
+Regenerates the data series behind the figure: the widening gap for
+conventional systems over time and the CS-1 point at the bottom of the
+scale.  The CS-1 entries are computed from the paper's machine
+description; the historical entries are documented order-of-magnitude
+reconstructions (see repro.perfmodel.balance).
+"""
+
+from repro.analysis import ascii_plot, format_table
+from repro.perfmodel import balance_table, cs1_balance
+
+
+def test_fig1_report(benchmark):
+    table = benchmark(balance_table)
+
+    print()
+    print(format_table(
+        ["system", "year", "flops/word mem", "flops/word net",
+         "flops@mem latency", "flops@net latency"],
+        [(e.system, e.year, e.flops_per_word_memory,
+          e.flops_per_word_interconnect, e.flops_to_cover_memory_latency,
+          e.flops_to_cover_network_latency) for e in table],
+        title="Fig. 1 data: machine balance (8-byte words)",
+    ))
+    history = [e for e in table if not e.system.startswith("Cerebras")]
+    print()
+    print(ascii_plot(
+        [e.year for e in history],
+        {
+            "memory": [e.flops_per_word_memory for e in history],
+            "interconnect": [e.flops_per_word_interconnect for e in history],
+        },
+        logy=True,
+        title="flops per word, conventional systems (CS-1 sits at ~2.7/4.0)",
+    ))
+
+    cs1 = cs1_balance()
+    assert cs1.flops_per_word_memory < 3.0
+    assert cs1.flops_per_word_interconnect == 4.0
+    modern = [e for e in history if e.year >= 2016]
+    assert all(e.flops_per_word_memory > 100 for e in modern)

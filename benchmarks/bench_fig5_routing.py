@@ -1,0 +1,43 @@
+"""Fig. 5: the tessellation routing pattern for SpMV.
+
+Regenerates the channel colouring (5 virtual channels, outgoing colour
+distinct from all four incoming at every tile) on the full CS-1 fabric
+and prints the repeating motif the figure shows.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.wse import CS1_GEOMETRY, channel_map, verify_tessellation
+
+
+def _full_fabric_colouring():
+    colors = channel_map(CS1_GEOMETRY.fabric_width, CS1_GEOMETRY.fabric_height)
+    verify_tessellation(colors[:50, :50])  # property-check a patch
+    return colors
+
+
+def test_fig5_report(benchmark):
+    colors = benchmark.pedantic(_full_fabric_colouring, rounds=3, iterations=1)
+
+    print()
+    print("Fig. 5: channel (colour) assignment c(x,y) = (x + 2y) mod 5")
+    print("repeating 5x5 motif (rows are y, columns x):")
+    for y in range(4, -1, -1):
+        print("   " + " ".join(str(colors[y, x]) for x in range(5)))
+    sample = [(x, y, int(colors[y, x]),
+               sorted(int(c) for c in (colors[y, x + 1], colors[y, x - 1],
+                                       colors[y + 1, x], colors[y - 1, x])))
+              for x, y in [(10, 10), (11, 10), (10, 11)]]
+    print()
+    print(format_table(
+        ["x", "y", "own channel", "incoming channels"],
+        sample,
+        title="five distinct channels at every tile",
+    ))
+
+    assert colors.shape == (595, 602)
+    assert set(np.unique(colors)) == {0, 1, 2, 3, 4}
+    for x, y, own, incoming in sample:
+        assert own not in incoming
+        assert len(set(incoming)) == 4

@@ -1,0 +1,61 @@
+"""Fig. 6 / section IV.3: the scalar AllReduce.
+
+Regenerates: (a) the routing-DAG construction and a live discrete
+simulation of the collective on a Fig. 6-sized fabric (X=8, Y=8) and
+larger; (b) the latency model's full-fabric prediction — under 1.5
+microseconds, about 10% over the mesh diameter — for ~357,000
+participating cores.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.wse import (
+    CS1,
+    allreduce_latency_cycles,
+    allreduce_latency_seconds,
+    simulate_allreduce,
+)
+
+RNG = np.random.default_rng(3)
+
+
+def test_fig6_simulation(benchmark):
+    vals = RNG.standard_normal((16, 16)).astype(np.float32)
+    result, cycles = benchmark.pedantic(
+        simulate_allreduce, args=(vals,), rounds=3, iterations=1
+    )
+    assert result == pytest.approx(float(vals.sum()), abs=1e-4)
+
+    rows = []
+    for w, h in [(8, 8), (16, 16), (24, 24), (32, 16)]:
+        v = RNG.standard_normal((h, w)).astype(np.float32)
+        r, c = simulate_allreduce(v)
+        model = allreduce_latency_cycles(w, h, stage_overhead=0)
+        rows.append((f"{w}x{h}", w * h, c, model, (w - 1) + (h - 1)))
+    print()
+    print(format_table(
+        ["fabric", "cores", "DES cycles", "model cycles (no overhead)",
+         "diameter"],
+        rows,
+        title="Fig. 6: AllReduce on simulated fabrics",
+    ))
+
+
+def test_cs1_allreduce_latency(benchmark):
+    t = benchmark(allreduce_latency_seconds)
+    g = CS1.geometry
+    cycles = allreduce_latency_cycles(g.fabric_width, g.fabric_height)
+    print()
+    print(format_table(
+        ["quantity", "paper", "measured"],
+        [
+            ("participating cores", "~380,000 (fabric)", g.fabric_tiles),
+            ("AllReduce latency (us)", "< 1.5", round(t * 1e6, 3)),
+            ("cycles / diameter", "~1.1", round(cycles / g.diameter, 3)),
+        ],
+        title="full-wafer scalar AllReduce",
+    ))
+    assert t < 1.5e-6
+    assert 1.02 < cycles / g.diameter < 1.25

@@ -1,0 +1,54 @@
+"""Fig. 7: cluster strong scaling, 370^3 mesh.
+
+Regenerates the time-per-BiCGStab-iteration vs core-count series on the
+modeled Joule 2.0 cluster, whose defining feature is the *failure to
+scale beyond 8K cores* on this smaller mesh.  A live run of the
+executable cluster simulator (partitioned arrays, real halo messages,
+virtual time) anchors the model at small rank counts.
+"""
+
+from repro.analysis import ascii_plot, format_table
+from repro.clustersim import cluster_bicgstab
+from repro.perfmodel import ClusterModel
+from repro.problems import convection_diffusion_system
+
+MESH = (370, 370, 370)
+MODEL = ClusterModel()
+
+
+def _live_small_run():
+    sys_ = convection_diffusion_system((24, 24, 24))
+    return cluster_bicgstab(sys_.operator, sys_.b, nranks=8, rtol=1e-8,
+                            maxiter=60)
+
+
+def test_fig7_report(benchmark):
+    live = benchmark.pedantic(_live_small_run, rounds=3, iterations=1)
+    assert live.converged
+
+    curve = MODEL.scaling_curve(MESH)
+    print()
+    print(format_table(
+        ["cores", "time/iter (ms)", "compute (ms)", "halo (ms)",
+         "allreduce (ms)", "speedup vs prev"],
+        [(r["cores"], r["time_ms"], r["compute_ms"], r["halo_ms"],
+          r["allreduce_ms"],
+          "-" if r["step_speedup"] is None else round(r["step_speedup"], 2))
+         for r in curve],
+        title=f"Fig. 7: scaling of solve time on the cluster, {MESH} mesh",
+    ))
+    print()
+    print(ascii_plot(
+        [r["cores"] for r in curve],
+        {"370^3": [r["time_ms"] for r in curve]},
+        logy=True,
+        title="time per iteration (ms) vs cores",
+    ))
+    print(f"\nlive 8-rank simulator run: "
+          f"{live.info['seconds_per_iteration'] * 1e3:.3f} ms/iter "
+          f"on a 24^3 mesh ({live.info['bytes_sent']} bytes exchanged)")
+
+    # The defining shape: the last doubling gains < 1.55x.
+    t8k = next(r["time_ms"] for r in curve if r["cores"] == 8192)
+    t16k = next(r["time_ms"] for r in curve if r["cores"] == 16384)
+    assert t8k / t16k < 1.55

@@ -1,0 +1,80 @@
+"""Fig. 8 / section V.A: cluster strong scaling, 600^3 mesh, and the
+CS-1 comparison.
+
+Regenerates: 75 ms per iteration at 1024 cores scaling to ~6 ms at 16 K
+cores, and the headline ratio — "about 214 times more than the 28.1
+microseconds per iteration that we measured on the CS-1, on a problem
+with more than twice as many meshpoints".
+"""
+
+import pytest
+
+from repro.analysis import ascii_plot, format_table, paper_vs_measured
+from repro.clustersim import cluster_bicgstab
+from repro.perfmodel import ClusterModel, WaferPerfModel
+from repro.problems import convection_diffusion_system
+
+MESH = (600, 600, 600)
+MODEL = ClusterModel()
+
+
+def _live_run():
+    sys_ = convection_diffusion_system((32, 32, 32))
+    return cluster_bicgstab(sys_.operator, sys_.b, nranks=16, rtol=1e-8,
+                            maxiter=250)
+
+
+def test_fig8_report(benchmark):
+    live = benchmark.pedantic(_live_run, rounds=3, iterations=1)
+    assert live.converged
+
+    curve = MODEL.scaling_curve(MESH)
+    print()
+    print(format_table(
+        ["cores", "time/iter (ms)", "compute (ms)", "halo (ms)",
+         "allreduce (ms)"],
+        [(r["cores"], r["time_ms"], r["compute_ms"], r["halo_ms"],
+          r["allreduce_ms"]) for r in curve],
+        title=f"Fig. 8: scaling of solve time on the cluster, {MESH} mesh",
+    ))
+    print()
+    print(ascii_plot(
+        [r["cores"] for r in curve],
+        {"600^3": [r["time_ms"] for r in curve]},
+        logy=True,
+        title="time per iteration (ms) vs cores",
+    ))
+
+    t1024 = MODEL.iteration_time(MESH, 1024)
+    t16k = MODEL.iteration_time(MESH, 16384)
+    speedup = MODEL.cs1_speedup()
+    wafer_meshpoints = 600 * 595 * 1536
+    print()
+    print(paper_vs_measured([
+        {"quantity": "time/iter @1024 cores (ms)", "paper": 75,
+         "measured": round(t1024 * 1e3, 1)},
+        {"quantity": "time/iter @16K cores (ms)", "paper": "~6",
+         "measured": round(t16k * 1e3, 2)},
+        {"quantity": "Joule/CS-1 time ratio", "paper": 214,
+         "measured": round(speedup, 1),
+         "note": "CS-1 mesh has 2.5x the meshpoints, fp16 vs fp64"},
+        {"quantity": "CS-1 meshpoints / Joule meshpoints", "paper": ">2x",
+         "measured": round(wafer_meshpoints / (600**3), 2)},
+    ]))
+
+    assert t1024 == pytest.approx(75e-3, rel=0.05)
+    assert t16k == pytest.approx(6e-3, rel=0.10)
+    assert speedup == pytest.approx(214, rel=0.06)
+
+
+def test_wafer_vs_cluster_gap(benchmark):
+    """The gap per the models, timed as one call for regression."""
+    wm = WaferPerfModel()
+
+    def ratio():
+        return MODEL.iteration_time(MESH, 16384) / wm.iteration_time(
+            (600, 595, 1536)
+        )
+
+    r = benchmark(ratio)
+    assert r > 150

@@ -1,0 +1,60 @@
+"""Fig. 9: normwise relative residual, mixed fp16/fp32 vs fp32.
+
+Paper: a momentum-equation system from MFIX's timestep discretization on
+a 100 x 400 x 100 mesh; "Up to iteration 7 the mixed precision
+implementation tracks the 32-bit, but then fails to reduce the residual
+further", plateauing near 1e-2 (fp16 machine precision ~1e-3 plus an
+order of rounding growth).
+
+Regenerates the two residual series.  Default mesh is the paper's
+aspect at half scale (50 x 200 x 50); set REPRO_FIG9_FULL=1 for the full
+100 x 400 x 100 run.
+"""
+
+import os
+
+import numpy as np
+
+from repro.analysis import ascii_plot, format_table
+from repro.problems import fig9_momentum_system
+from repro.solver import bicgstab
+
+FULL = os.environ.get("REPRO_FIG9_FULL") == "1"
+MESH = (100, 400, 100) if FULL else (50, 200, 50)
+ITERS = 15
+
+
+def _residual_histories():
+    sys_ = fig9_momentum_system(shape=MESH)
+    mixed = bicgstab(sys_.operator, sys_.b, precision="mixed", rtol=0.0,
+                     maxiter=ITERS, record_true_residual=True)
+    single = bicgstab(sys_.operator, sys_.b, precision="single", rtol=0.0,
+                      maxiter=ITERS, record_true_residual=True)
+    return mixed, single
+
+
+def test_fig9_report(benchmark):
+    mixed, single = benchmark.pedantic(_residual_histories, rounds=1,
+                                       iterations=1)
+    m = np.array(mixed.true_residuals)
+    s = np.array(single.true_residuals)
+    iters = np.arange(1, len(m) + 1)
+
+    print()
+    print(format_table(
+        ["iteration", "single precision", "mixed fp16/fp32"],
+        [(int(i), float(sv), float(mv)) for i, sv, mv in zip(iters, s, m)],
+        title=f"Fig. 9: normwise relative residual, momentum system {MESH}",
+        floatfmt=".3e",
+    ))
+    print()
+    print(ascii_plot(
+        iters, {"single": s, "mixed": m}, logy=True,
+        title="relative residual vs iteration (log scale)",
+    ))
+
+    # The figure's shape: early tracking, then a mixed plateau while
+    # fp32 continues downward.
+    assert np.all(m[:3] < 3 * s[:3] + 1e-6), "mixed must track fp32 early"
+    assert s[-1] < m[-1] / 5, "fp32 must end well below the mixed plateau"
+    assert 1e-5 < m.min() < 5e-2, "mixed plateau near fp16 precision"

@@ -1,0 +1,55 @@
+"""Section I framing: fraction-of-peak on stencil solvers.
+
+The paper opens with the motivation: "on the high-performance conjugate
+gradient (HPCG) benchmark, the top 20 performing supercomputers achieve
+only 0.5% - 3.1% of their peak floating point performance", against
+which the CS-1's ~31% on BiCGStab is the headline contrast.
+
+Regenerates both sides from our models: the cluster's sub-percent
+fraction of fp64 peak (memory-bandwidth-bound, as HPCG is) and the
+wafer's ~1/3 of fp16 peak, plus the memory-balance explanation.
+"""
+
+from repro.analysis import format_table, paper_vs_measured
+from repro.perfmodel import ClusterModel, HEADLINE_MESH, WaferPerfModel, cs1_balance
+
+CLUSTER = ClusterModel()
+WAFER = WaferPerfModel()
+
+
+def _fractions():
+    rows = []
+    for cores in (1024, 4096, 16384):
+        frac = CLUSTER.fraction_of_peak((600, 600, 600), cores)
+        rows.append((cores, frac))
+    return rows
+
+
+def test_intro_fraction_of_peak(benchmark):
+    rows = benchmark(_fractions)
+
+    print()
+    print(format_table(
+        ["cores", "fraction of fp64 peak"],
+        [(c, f"{f * 100:.2f}%") for c, f in rows],
+        title="modeled Joule BiCGStab: fraction of peak (HPCG-class regime)",
+    ))
+    wafer_frac = WAFER.fraction_of_peak(HEADLINE_MESH)
+    bal = cs1_balance()
+    print()
+    print(paper_vs_measured([
+        {"quantity": "cluster fraction of peak", "paper": "0.5-3.1% (HPCG top 20)",
+         "measured": f"{rows[0][1] * 100:.2f}-{rows[-1][1] * 100:.2f}%",
+         "note": "MFIX-class BiCGStab; same bandwidth-bound regime"},
+        {"quantity": "CS-1 fraction of peak", "paper": "~33%",
+         "measured": f"{wafer_frac * 100:.1f}%"},
+        {"quantity": "CS-1 flops per 8B memory word", "paper": "~2.7",
+         "measured": round(bal.flops_per_word_memory, 2),
+         "note": "the balance that makes the fraction possible"},
+    ]))
+
+    # The framing must hold: cluster in the low single-digit percent or
+    # below; wafer two orders of magnitude better.
+    assert all(f < 0.04 for _, f in rows)
+    assert wafer_frac > 0.25
+    assert wafer_frac / max(f for _, f in rows) > 10

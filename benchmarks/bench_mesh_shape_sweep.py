@@ -1,0 +1,50 @@
+"""Section V's model application: "predict the effect of changing mesh
+size and shape".
+
+Regenerates a mesh-shape sweep from the calibrated performance model:
+time per iteration, PFLOPS, and fraction of peak across Z depths and
+fabric footprints, showing the two effects the model predicts — deeper
+columns amortize the AllReduce (higher efficiency), smaller footprints
+waste tiles (lower PFLOPS).
+"""
+
+from repro.analysis import format_table
+from repro.perfmodel import WaferPerfModel
+
+MODEL = WaferPerfModel()
+
+MESHES = [
+    (600, 595, 256),
+    (600, 595, 512),
+    (600, 595, 1024),
+    (600, 595, 1536),
+    (600, 595, 2048),
+    (300, 300, 1536),
+    (150, 150, 1536),
+    (602, 595, 2457),  # memory-limit corner
+]
+
+
+def test_mesh_shape_sweep(benchmark):
+    records = benchmark(MODEL.sweep_mesh_shape, MESHES)
+
+    print()
+    print(format_table(
+        ["mesh (X x Y x Z)", "meshpoints", "us/iter", "PFLOPS",
+         "frac of peak", "tile KB"],
+        [(f"{m['mesh'][0]}x{m['mesh'][1]}x{m['mesh'][2]}",
+          m["meshpoints"], round(m["time_us"], 2), round(m["pflops"], 3),
+          round(m["fraction_of_peak"], 3), round(m["tile_bytes"] / 1024, 1))
+         for m in records],
+        title="mesh size/shape sweep (calibrated CS-1 model)",
+    ))
+
+    by_mesh = {m["mesh"]: m for m in records}
+    # Deeper Z amortizes the collectives.
+    assert (by_mesh[(600, 595, 2048)]["fraction_of_peak"]
+            > by_mesh[(600, 595, 256)]["fraction_of_peak"])
+    # Smaller footprint, fewer flops in flight.
+    assert (by_mesh[(150, 150, 1536)]["pflops"]
+            < by_mesh[(600, 595, 1536)]["pflops"])
+    # The memory-limit corner still fits the 48 KB tile.
+    assert by_mesh[(602, 595, 2457)]["tile_bytes"] <= 48 * 1024

@@ -1,0 +1,32 @@
+"""Section V: "We then present and validate a simple performance model".
+
+Regenerates the validation the paper performs (there against hardware,
+here against the word-level simulation): SpMV cycles across Z and
+AllReduce cycles across fabric sizes, both against the analytic model.
+"""
+
+from repro.analysis import format_table
+from repro.perfmodel import ModelValidator
+
+
+def test_model_validation_report(benchmark):
+    validator = ModelValidator()
+    outcome = benchmark.pedantic(validator.validate, rounds=2, iterations=1)
+
+    print()
+    print(format_table(
+        ["Z", "DES cycles", "lower bound (Z)", "model budget", "in envelope"],
+        [(p.z, p.des_cycles, int(p.lower_bound), round(p.model_budget, 0),
+          "yes" if p.within_envelope else "NO") for p in outcome["spmv"]],
+        title="SpMV (Listing 1 program) vs model, 3x3 fabric",
+    ))
+    print()
+    print(format_table(
+        ["fabric", "DES cycles", "model cycles", "rel error"],
+        [(f"{p.fabric[0]}x{p.fabric[1]}", p.des_cycles, p.model_cycles,
+          f"{p.relative_error * 100:.1f}%") for p in outcome["allreduce"]],
+        title="AllReduce (Fig. 6 routing) vs latency model",
+    ))
+
+    assert outcome["spmv_ok"]
+    assert outcome["allreduce_ok"]

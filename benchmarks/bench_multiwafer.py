@@ -1,0 +1,51 @@
+"""Section VIII.B extensions: roadmap scaling and multi-wafer clustering.
+
+The discussion's forward-looking claims, quantified: process shrinks
+grow capacity (18 -> 40 -> 50 GB), and "clustering, with sufficient
+bandwidth, of several wafer-scale systems" works — with "sufficient"
+made precise as the link rate at which inter-wafer halos hide behind a
+slab's compute (~260 GB/s for the headline slab shape).
+"""
+
+from repro.analysis import format_table
+from repro.perfmodel import MultiWaferModel, ROADMAP, max_meshpoints
+
+
+def _curve():
+    return MultiWaferModel().scaling_curve(8)
+
+
+def test_multiwafer_report(benchmark):
+    curve = benchmark(_curve)
+
+    print()
+    print(format_table(
+        ["wafers", "mesh", "us/iter", "efficiency", "meshpoints (B)"],
+        [(pt.wafers, f"{pt.mesh[0]}x{pt.mesh[1]}x{pt.mesh[2]}",
+          round(pt.iteration_seconds * 1e6, 2),
+          f"{pt.efficiency * 100:.0f}%",
+          round(pt.total_meshpoints / 1e9, 2)) for pt in curve],
+        title="multi-wafer weak scaling (300 GB/s boundary links)",
+    ))
+    m = MultiWaferModel()
+    rows = []
+    for bw in (50e9, 150e9, 262e9, 500e9):
+        eff = MultiWaferModel(link_bandwidth=bw).point(4, 595).efficiency
+        rows.append((f"{bw / 1e9:.0f}", f"{eff * 100:.0f}%"))
+    print()
+    print(format_table(
+        ["link GB/s", "4-wafer efficiency"],
+        rows,
+        title=f"'sufficient bandwidth' threshold: "
+              f"{m.sufficient_bandwidth() / 1e9:.0f} GB/s",
+    ))
+    print()
+    print(format_table(
+        ["generation", "solver capacity (B points)"],
+        [(n.name, round(max_meshpoints(n, 10) * 1 / 1e9, 2)) for n in ROADMAP],
+        title="roadmap capacity at the solver's 10 words/point",
+    ))
+
+    assert all(pt.efficiency > 0.9 for pt in curve)
+    assert curve[-1].total_meshpoints == 8 * curve[0].total_meshpoints
+    assert 100e9 < m.sufficient_bandwidth() < 1e12

@@ -1,0 +1,76 @@
+"""Ablation: the precision trade (abstract: "We discuss issues of
+memory capacity and floating point precision").
+
+The paper chose fp16 storage + mixed dots.  This bench quantifies the
+whole trade on one system:
+
+* **accuracy** — achievable true residual in half / mixed / single /
+  double (half demonstrates why the mixed dot instruction exists;
+  mixed plateaus near 1e-2; single near 1e-6);
+* **speed** — modeled per-iteration time at each precision (fp32 runs
+  one FMAC/cycle vs two mixed);
+* **capacity** — the largest Z-column per tile at each storage width
+  (fp32 halves it: 2457 -> 1228).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.perfmodel import HEADLINE_MESH, WaferPerfModel
+from repro.problems import momentum_system
+from repro.solver import bicgstab
+
+MODEL = WaferPerfModel()
+PRECISIONS = ("half", "mixed", "single", "double")
+
+
+def _accuracy_sweep():
+    sys_ = momentum_system((12, 12, 16), reynolds=100.0, dt=0.02)
+    out = {}
+    for prec in PRECISIONS:
+        res = bicgstab(sys_.operator, sys_.b, precision=prec, rtol=0.0,
+                       maxiter=30, record_true_residual=True)
+        out[prec] = min(res.true_residuals) if res.true_residuals else None
+    return out
+
+
+def test_precision_ablation_report(benchmark):
+    accuracy = benchmark.pedantic(_accuracy_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for prec in PRECISIONS:
+        max_z = MODEL.max_z_for_precision(prec)
+        # Time at the headline footprint, Z clamped to what fits.
+        mesh = (600, 595, min(1536, max_z))
+        t = MODEL.iteration_time_for_precision(mesh, prec)
+        rows.append((
+            prec,
+            f"{accuracy[prec]:.1e}" if accuracy[prec] else "-",
+            max_z,
+            f"{mesh[2]}",
+            round(t * 1e6, 1),
+        ))
+    print()
+    print(format_table(
+        ["precision", "best true residual", "max Z/tile",
+         "Z at headline footprint", "us/iter"],
+        rows,
+        title="the precision trade: accuracy vs capacity vs speed",
+    ))
+    print("\nthe paper's choice (mixed): fp16 capacity and near-fp16-peak "
+          "speed, with fp32 dots preventing the pure-fp16 accuracy collapse")
+
+    # The trade's shape.  (Half-vs-mixed differs dramatically at the
+    # *dot* level — fp16 accumulation of 4096 ones stagnates at 2048,
+    # tests/test_precision_ops.py — but on a small well-conditioned
+    # solve the ratio structure of BiCGStab masks much of it; here we
+    # assert the plateau ordering that always holds.)
+    assert accuracy["mixed"] < 2e-2, "mixed reaches the fp16-class plateau"
+    assert accuracy["single"] < accuracy["mixed"] / 10
+    assert accuracy["double"] < accuracy["single"] / 10
+    assert accuracy["half"] > accuracy["single"], "fp16 cannot match fp32"
+    assert MODEL.max_z_for_precision("single") == MODEL.max_z_for_precision("mixed") // 2
+    t_mixed = MODEL.iteration_time_for_precision(HEADLINE_MESH, "mixed")
+    t_single = MODEL.iteration_time_for_precision((600, 595, 1228), "single")
+    assert t_mixed == MODEL.iteration_time(HEADLINE_MESH)
+    assert t_single > 0

@@ -1,0 +1,50 @@
+"""Listing 1 / Fig. 4: the SpMV dataflow program on the tile simulator.
+
+Not a numbered figure, but the paper's core kernel exposition.  Runs the
+discrete task/thread/FIFO simulation of one SpMV, checks it against the
+CSR ground truth, and compares its cycle count against the calibrated
+performance model's per-SpMV budget.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.kernels import run_spmv_des
+from repro.perfmodel import WaferPerfModel
+from repro.problems import Stencil7
+
+RNG = np.random.default_rng(21)
+SHAPE = (4, 4, 32)
+
+
+def _des_run():
+    op = Stencil7.from_random(SHAPE, rng=np.random.default_rng(2))
+    pre, _, _ = op.jacobi_precondition()
+    v = 0.1 * RNG.standard_normal(SHAPE)
+    u, cycles = run_spmv_des(pre, v)
+    v16 = np.asarray(v, np.float16).astype(np.float64)
+    ref = (pre.to_csr() @ v16.ravel()).reshape(SHAPE)
+    assert np.max(np.abs(u - ref)) < 0.05
+    return cycles
+
+
+def test_spmv_des_report(benchmark):
+    cycles = benchmark.pedantic(_des_run, rounds=3, iterations=1)
+
+    model = WaferPerfModel()
+    z = SHAPE[2]
+    ideal = 3 * z  # 12 fp16 ops/point at SIMD-4
+    budget = model.compute_overhead * ideal
+    print()
+    print(format_table(
+        ["quantity", "cycles"],
+        [
+            ("fabric-limited lower bound (Z)", z),
+            ("discrete simulation", cycles),
+            ("ideal issue model (3Z)", ideal),
+            ("calibrated model budget", round(budget, 1)),
+        ],
+        title=f"SpMV cycles, {SHAPE} mesh column (Z={z})",
+    ))
+
+    assert z <= cycles <= budget + 40

@@ -1,0 +1,44 @@
+"""Table I: operations per meshpoint per BiCGStab iteration.
+
+Regenerates the table's rows (single precision and mixed columns) and
+verifies them against both the kernel-structure derivation and an
+instrumented live solve.
+"""
+
+from repro.analysis import format_table
+from repro.perfmodel import derive_counts, measured_counts, table1
+
+
+def test_table1_report(benchmark):
+    measured = benchmark.pedantic(measured_counts, kwargs={"iterations": 4},
+                                  rounds=3, iterations=1)
+
+    rows = []
+    for r in table1():
+        label = f"{r.name} (x{r.count})" if r.count else r.name
+        rows.append((label, r.sp_add, r.sp_mul, r.mixed_hp_add,
+                     r.mixed_hp_mul, r.mixed_sp_add))
+    print()
+    print(format_table(
+        ["Operation", "SP +", "SP x", "HP +", "HP x", "SP + (mixed)"],
+        rows,
+        title="Table I: operations per meshpoint per iteration",
+    ))
+    print()
+    print(format_table(
+        ["source", "matvec x", "matvec +", "dots/iter"],
+        [
+            ("paper Table I", 12, 12, 4),
+            ("derived from kernels", derive_counts()["matvec_mul"],
+             derive_counts()["matvec_add"], 4),
+            ("instrumented solver", round(measured["matvec_mul"], 2),
+             round(measured["matvec_add"], 2),
+             round(measured["dots_per_iteration"], 2)),
+        ],
+        title="verification",
+    ))
+
+    total = table1()[-1]
+    assert total.total_single == total.total_mixed == 44
+    assert measured["matvec_mul"] == 12
+    assert measured["dots_per_iteration"] == 4

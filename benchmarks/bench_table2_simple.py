@@ -1,0 +1,54 @@
+"""Table II: cycles per meshpoint for the SIMPLE phases (excluding the
+linear solver).
+
+Regenerates the paper's phase ranges alongside the cycles measured from
+our instrumented SIMPLE assembly.  The paper's ranges cover MFIX's full
+generality (compressibility, variable properties — hence e.g. the
+momentum merge range 25-153); our single-phase incompressible assembly
+is expected to land at or below the low end of each range.
+"""
+
+from repro.analysis import format_table
+from repro.cfd import OpCounter, lid_driven_cavity
+from repro.perfmodel import table2
+
+
+def _measure():
+    solver = lid_driven_cavity(n=12, reynolds=100.0)
+    solver.counter = OpCounter(enabled=True)
+    field = solver.initialize()
+    solver.iterate(field)
+    return solver.counter.report()
+
+
+def test_table2_report(benchmark):
+    measured = benchmark.pedantic(_measure, rounds=3, iterations=1)
+
+    rows = []
+    for p in table2():
+        lo, hi = p.printed_total
+        got = measured.get(p.name, {}).get("cycles", 0.0)
+        rows.append((
+            p.name,
+            f"{p.merge[0]}-{p.merge[1]}",
+            f"{p.flop[0]}-{p.flop[1]}",
+            f"{p.sqrt[0]}-{p.sqrt[1]}",
+            f"{p.divide[0]}-{p.divide[1]}",
+            f"{p.transport[0]}-{p.transport[1]}",
+            f"{lo}-{hi}",
+            round(got, 1),
+        ))
+    print()
+    print(format_table(
+        ["SIMPLE step", "Merge", "FLOP", "sqrt", "div", "xT",
+         "paper cycles", "measured cycles"],
+        rows,
+        title="Table II: cycles per meshpoint for SIMPLE (excluding solver)",
+    ))
+
+    paper = {p.name: p.printed_total for p in table2()}
+    for phase in ("Momentum", "Continuity", "Field Update"):
+        got = measured[phase]["cycles"]
+        lo, hi = paper[phase]
+        assert got <= 1.5 * hi
+        assert got >= 0.1 * lo

@@ -1,0 +1,63 @@
+"""Capacity planning: what fits on a wafer, now and on the roadmap.
+
+Walks section VIII.B's argument with the library's models: the SRAM
+roadmap (18 GB -> 40 GB @ 7 nm -> 50 GB @ 5 nm), the four cited
+applications, and the multi-wafer clustering option with its
+"sufficient bandwidth" threshold.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analysis import format_table
+from repro.perfmodel import (
+    APPLICATIONS,
+    MultiWaferModel,
+    ROADMAP,
+    assess_application,
+    max_cube_edge,
+    max_meshpoints,
+)
+
+
+def main() -> None:
+    print(format_table(
+        ["generation", "SRAM", "max CFD cells", "max cube"],
+        [(n.name, f"{n.sram_gb:.0f} GB", f"{max_meshpoints(n) / 1e6:.0f} M",
+          f"{max_cube_edge(n)}^3") for n in ROADMAP],
+        title="wafer SRAM roadmap (paper section VIII.B)",
+    ))
+
+    print()
+    rows = []
+    for app in APPLICATIONS:
+        a = assess_application(app)
+        verdict = []
+        if a.realtime_factor:
+            verdict.append(f"{a.realtime_factor:.0f}x real time")
+        if a.speedup:
+            days = a.cluster_campaign_seconds / 86400
+            hours = a.campaign_seconds / 3600
+            verdict.append(f"{days:.1f} days -> {hours:.1f} h")
+        rows.append((app.name[:46], f"{app.cells / 1e6:.0f} M",
+                     "fits" if a.fits else "too big",
+                     "; ".join(verdict) or f"{a.steps_per_second:.0f} steps/s"))
+    print(format_table(
+        ["application (cited in §VIII)", "cells", "CS-1?", "what the wafer buys"],
+        rows,
+    ))
+
+    print()
+    mw = MultiWaferModel()
+    print(format_table(
+        ["wafers", "meshpoints", "us/iter", "weak-scaling eff"],
+        [(pt.wafers, f"{pt.total_meshpoints / 1e9:.2f} B",
+          round(pt.iteration_seconds * 1e6, 2), f"{pt.efficiency * 100:.0f}%")
+         for pt in mw.scaling_curve(6)],
+        title=f"clustering wafers at {mw.link_bandwidth / 1e9:.0f} GB/s links",
+    ))
+    print(f"\n'sufficient bandwidth' (halo fully hidden): "
+          f"{mw.sufficient_bandwidth() / 1e9:.0f} GB/s per boundary")
+
+
+if __name__ == "__main__":
+    main()

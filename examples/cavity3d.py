@@ -1,0 +1,47 @@
+"""3D lid-driven cavity: the full Algorithm 2 component loop.
+
+Runs the 3D SIMPLE solver (u, v, w momentum + continuity per outer
+iteration — exactly the loop the paper's Algorithm 2 describes for
+MFIX) and then feeds one of its genuine 3D momentum systems to the
+wafer solver in mixed precision, closing the loop between the CFD
+substrate and the paper's core contribution.
+
+Run:  python examples/cavity3d.py
+"""
+
+import numpy as np
+
+from repro.cfd import FlowField3D, SimpleSolver3D, StaggeredMesh3D
+from repro.solver import WaferBiCGStab
+
+
+def main() -> None:
+    n = 12
+    solver = SimpleSolver3D(StaggeredMesh3D(n, n, n), viscosity=0.01)
+    print(f"3D lid-driven cavity, {n}^3 cells, Re = "
+          f"{solver.u_lid / solver.viscosity:.0f}")
+    result = solver.solve(max_outer=150, tol=5e-4)
+    print(result.summary())
+
+    f = result.field
+    i, k = n // 2, n // 2
+    print(f"  u under the lid: {f.u[i, -1, k]:+.3f}  (dragged by the lid)")
+    print(f"  u at mid-height: {f.u[i, n // 2, k]:+.3f}  (return flow)")
+    print(f"  mass imbalance:  {f.continuity_residual():.2e}")
+    print(f"  kinetic energy:  {f.kinetic_energy():.5f}")
+
+    # Take the converged state's u-momentum system — a genuine 3D
+    # 7-point nonsymmetric system from a real CFD loop — and solve it
+    # the way the wafer would.
+    A, b, _ = solver._u_system(f)
+    pre, bp, _ = A.jacobi_precondition(b)
+    wres = WaferBiCGStab().solve(pre, bp, rtol=2e-3, maxiter=60)
+    print(f"\nwafer solve of the converged u-momentum system:")
+    print(f"  {wres.summary()}")
+    print(f"  {wres.performance_summary()}")
+    ref = np.linalg.norm((bp - pre.apply(wres.x)).ravel())
+    print(f"  fp64 residual of the mixed solution: {ref:.2e}")
+
+
+if __name__ == "__main__":
+    main()

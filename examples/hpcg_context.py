@@ -1,0 +1,63 @@
+"""The HPCG framing: why stencil solvers need a different machine.
+
+Walks the paper's introduction quantitatively: build the 27-point
+finite-element Laplacian (HPCG's operator), solve it with CG, and show
+the roofline arithmetic that pins bandwidth-bound solvers at ~1% of
+peak on CPU clusters versus ~1/3 on the wafer — plus what the wider
+stencil costs in wafer capacity.
+
+Run:  python examples/hpcg_context.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.perfmodel import (
+    ClusterModel,
+    HEADLINE_MESH,
+    WaferPerfModel,
+    roofline_table,
+)
+from repro.problems import laplacian27, max_z_for_stencil
+from repro.solver import cg
+
+
+def main() -> None:
+    # The HPCG operator, solved with CG (our implementation).
+    shape = (16, 16, 16)
+    op = laplacian27(shape)
+    rng = np.random.default_rng(3)
+    b = rng.standard_normal(shape)
+    res = cg(op, b, rtol=1e-8, maxiter=500)
+    print(f"27-point FE Laplacian on {shape}: {res.summary()}")
+
+    # The balance argument, quantified.
+    print()
+    print(format_table(
+        ["machine", "ridge (flop/B)", "solver intensity", "bound",
+         "attainable"],
+        [(r["machine"], round(r["ridge_flop_per_byte"], 2),
+          round(r["solver_intensity"], 3), r["bound"],
+          f"{r['attainable_fraction'] * 100:.1f}%")
+         for r in roofline_table()],
+        title="roofline: BiCGStab/CG class solvers on both machines",
+    ))
+
+    cm, wm = ClusterModel(), WaferPerfModel()
+    print(f"\nmodeled fractions of peak, 600^3-class problems:")
+    for cores in (1024, 16384):
+        f = cm.fraction_of_peak((600, 600, 600), cores)
+        print(f"  Joule @{cores:>6} cores: {f * 100:.2f}%   "
+              "(paper: HPCG top-20 at 0.5-3.1%)")
+    print(f"  CS-1 (headline):     "
+          f"{wm.fraction_of_peak(HEADLINE_MESH) * 100:.1f}%   "
+          "(paper: about one third)")
+
+    # What a wider stencil costs on the wafer.
+    print(f"\nwafer Z-capacity per tile: 7-point {max_z_for_stencil(7)}, "
+          f"27-point {max_z_for_stencil(27)} "
+          "(wider stencils trade depth for coupling)")
+
+
+if __name__ == "__main__":
+    main()

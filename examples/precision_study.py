@@ -1,0 +1,64 @@
+"""Mixed-precision accuracy study (the Fig. 9 experiment, extended).
+
+Reproduces the paper's section VI.B study on a momentum-equation system:
+mixed fp16/fp32 BiCGStab tracks fp32 for the early iterations, then
+plateaus near fp16 machine precision — and then goes beyond the paper by
+showing the remedy it proposes: fp64 iterative refinement around the
+mixed inner solver recovers full accuracy.
+
+Run:  python examples/precision_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_plot, format_table
+from repro.problems import fig9_momentum_system
+from repro.precision import machine_epsilon
+from repro.solver import bicgstab, refined_solve
+
+
+def main() -> None:
+    # The paper's system is 100 x 400 x 100; we run the same aspect at
+    # half scale for a fast demo (pass the full shape to reproduce 1:1).
+    shape = (50, 200, 50)
+    system = fig9_momentum_system(shape=shape)
+    print(f"momentum system {shape}: n = {system.n:,}, "
+          f"fp16 unit roundoff = {machine_epsilon('mixed'):.2e}")
+
+    histories = {}
+    for precision in ("single", "mixed"):
+        res = bicgstab(system.operator, system.b, precision=precision,
+                       rtol=0.0, maxiter=15, record_true_residual=True)
+        histories[precision] = np.array(res.true_residuals)
+
+    iters = np.arange(1, 16)
+    print()
+    print(format_table(
+        ["iteration", "single", "mixed fp16/fp32"],
+        [(int(i), float(histories["single"][i - 1]),
+          float(histories["mixed"][i - 1])) for i in iters],
+        title="normwise relative residual (cf. paper Fig. 9)",
+        floatfmt=".3e",
+    ))
+    print()
+    print(ascii_plot(iters, histories, logy=True,
+                     title="residual vs iteration (log scale)"))
+
+    plateau = histories["mixed"].min()
+    print(f"\nmixed-precision plateau: {plateau:.2e} "
+          "(paper observes ~1e-2: fp16 precision ~1e-3 plus a factor ~10 "
+          "of rounding growth)")
+
+    # The paper's proposed remedy (section VI.B): iterative refinement.
+    refined = refined_solve(system.operator, system.b,
+                            inner_precision="mixed", rtol=1e-9,
+                            max_refinements=25)
+    print(f"\niterative refinement around the mixed solver: {refined.summary()}")
+    print("outer fp64 residuals:",
+          "  ".join(f"{r:.1e}" for r in refined.residuals))
+    print("=> the plateau is an inner-solver property, not a wall: "
+          "cheap fp16 sweeps + fp64 residuals reach fp64 accuracy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Wafer vs cluster: the strong-scaling comparison (Figs. 7-8, §V.A).
+
+Solves the same class of system on both simulated machines:
+
+* the executable cluster simulator (partitioned arrays, real halo
+  messages, virtual time) at small rank counts,
+* the calibrated closed-form cluster model out to 16,384 cores,
+* the calibrated CS-1 model for the wafer side,
+
+and prints the scaling curves plus the headline ~214x ratio.
+
+Run:  python examples/scaling_comparison.py
+"""
+
+from repro.analysis import ascii_plot, format_table
+from repro.clustersim import cluster_bicgstab
+from repro.perfmodel import ClusterModel, WaferPerfModel
+from repro.problems import convection_diffusion_system
+
+
+def main() -> None:
+    cm = ClusterModel()
+    wm = WaferPerfModel()
+
+    # Executable simulator: the same solve on 1..8 virtual ranks.
+    system = convection_diffusion_system((24, 24, 24))
+    print("executable cluster simulator (24^3 mesh, fp64 BiCGStab):")
+    rows = []
+    for nranks in (1, 2, 4, 8):
+        res = cluster_bicgstab(system.operator, system.b, nranks=nranks,
+                               rtol=1e-8, maxiter=120)
+        rows.append((nranks, res.iterations,
+                     round(res.info["seconds_per_iteration"] * 1e6, 1),
+                     res.info["bytes_sent"]))
+    print(format_table(
+        ["ranks", "iterations", "virtual us/iter", "bytes exchanged"], rows))
+
+    # Closed-form model: the paper's two meshes out to 16K cores.
+    print("\nmodeled Joule 2.0 scaling (time per BiCGStab iteration, ms):")
+    cores = [1024, 2048, 4096, 8192, 16384]
+    curves = {}
+    for mesh, label in [((370, 370, 370), "370^3"), ((600, 600, 600), "600^3")]:
+        curves[label] = [cm.iteration_time(mesh, c) * 1e3 for c in cores]
+    print(format_table(
+        ["cores", "370^3 (ms)", "600^3 (ms)"],
+        [(c, round(curves["370^3"][i], 2), round(curves["600^3"][i], 2))
+         for i, c in enumerate(cores)]))
+    print()
+    print(ascii_plot(cores, curves, logy=True,
+                     title="cluster strong scaling (note the 370^3 flattening)"))
+
+    # The wafer side and the headline ratio.
+    t_wafer = wm.iteration_time((600, 595, 1536))
+    t_joule = cm.iteration_time((600, 600, 600), 16384)
+    print(f"\nCS-1 (600x595x1536, mixed precision): {t_wafer * 1e6:.1f} us/iter")
+    print(f"Joule @16,384 cores (600^3, fp64):     {t_joule * 1e3:.2f} ms/iter")
+    print(f"ratio: {t_joule / t_wafer:.0f}x   (paper: about 214x; the CS-1 "
+          "problem has 2.5x the meshpoints, the cluster arithmetic is 4x wider)")
+
+
+if __name__ == "__main__":
+    main()

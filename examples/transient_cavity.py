@@ -1,0 +1,49 @@
+"""Time-accurate cavity spin-up and the real-time question.
+
+Section VIII.A argues wafer-scale speed makes *real-time*, in-the-loop
+CFD possible ("it is quite difficult and potentially dangerous to land
+a helicopter on the windy flight deck of an aircraft carrier...").
+This example runs the transient SIMPLE solver on an impulsively started
+cavity, shows the physical spin-up (kinetic energy growth to steady
+state), and then asks the paper's question: at this mesh size, how much
+faster than real time would the wafer run it?
+
+Run:  python examples/transient_cavity.py
+"""
+
+from repro.analysis import ascii_plot
+from repro.cfd import TransientSimpleSolver, lid_driven_cavity
+from repro.perfmodel import SimpleCostModel
+
+
+def main() -> None:
+    n, re, dt = 24, 100.0, 0.05
+    steady = lid_driven_cavity(n=n, reynolds=re)
+    transient = TransientSimpleSolver(steady, dt=dt, simple_iters_per_step=8)
+    print(f"impulsively started cavity: {n}x{n}, Re={re:.0f}, dt={dt}")
+
+    result = transient.run(n_steps=40)
+    print(result.summary())
+
+    ke = result.kinetic_energy_history
+    t = [i * dt for i in range(len(ke))]
+    print()
+    print(ascii_plot(t, {"kinetic energy": ke},
+                     title="spin-up: kinetic energy vs time"))
+
+    # The real-time question, per the paper's cost model.
+    model = SimpleCostModel(simple_iters=transient.simple_iters_per_step)
+    for cells, label in [(1e6, "1 M cells (Oruc's helicopter/ship meshes)"),
+                         (600**3, "600^3 (the paper's projection size)")]:
+        edge = round(cells ** (1 / 3))
+        mesh = (min(edge, 600), min(edge, 595), edge)
+        steps = model.timesteps_per_second(mesh)
+        # Real time needs the simulation clock to keep up with the wall
+        # clock: steps/s * dt >= 1 second of physics per second.
+        sim_rate = steps * dt
+        print(f"\n{label}: {steps:.0f} timesteps/s on the wafer model")
+        print(f"  at dt={dt}s of physics per step: {sim_rate:.0f}x real time")
+
+
+if __name__ == "__main__":
+    main()

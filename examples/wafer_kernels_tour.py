@@ -1,0 +1,78 @@
+"""A tour of the wafer's kernels at word-level fidelity.
+
+Runs the paper's two hardware-mapped kernels on the discrete tile
+simulator — routers, virtual channels, background threads, hardware
+FIFOs, task scheduler — at a size small enough to watch:
+
+1. the Listing 1 SpMV dataflow (Fig. 4) on a 4x4 fabric, checked against
+   the CSR ground truth;
+2. the Fig. 6 AllReduce on an 8x8 fabric, with its reduce/broadcast
+   routing built from the geometry-op combinators of Fig. 6b;
+3. the Fig. 5 channel tessellation that makes the SpMV exchange work.
+
+Run:  python examples/wafer_kernels_tour.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.kernels import build_spmv_fabric, run_spmv_des
+from repro.problems import Stencil7
+from repro.wse import (
+    allreduce_latency_seconds,
+    channel_map,
+    simulate_allreduce,
+    verify_tessellation,
+)
+
+
+def spmv_demo() -> None:
+    shape = (4, 4, 16)
+    rng = np.random.default_rng(1)
+    op, _, _ = Stencil7.from_random(shape, rng=rng).jacobi_precondition()
+    v = 0.1 * rng.standard_normal(shape)
+
+    u, cycles = run_spmv_des(op, v)
+    v16 = np.asarray(v, np.float16).astype(np.float64)
+    ref = (op.to_csr() @ v16.ravel()).reshape(shape)
+    err = np.max(np.abs(u - ref))
+
+    fabric, programs = build_spmv_fabric(op, v)
+    mem = programs[0][0].core.memory
+
+    print("1. SpMV dataflow (Listing 1 / Fig. 4)")
+    print(f"   mesh {shape} on a 4x4 tile fabric, Z=16 per core")
+    print(f"   cycles: {cycles} (fabric-limited lower bound: Z = {shape[2]})")
+    print(f"   max |DES - CSR ground truth| = {err:.2e} (fp16 noise)")
+    print("   one tile's memory map:")
+    for line in mem.report().splitlines():
+        print("     " + line)
+
+
+def allreduce_demo() -> None:
+    vals = np.random.default_rng(2).standard_normal((8, 8)).astype(np.float32)
+    result, cycles = simulate_allreduce(vals)
+    print("\n2. AllReduce (Fig. 6), 8x8 fabric")
+    print(f"   sum = {result:.6f} (exact: {vals.sum():.6f}), {cycles} cycles")
+    print(f"   full-wafer (602x595) model: "
+          f"{allreduce_latency_seconds() * 1e6:.2f} us  (paper: under 1.5 us)")
+
+
+def tessellation_demo() -> None:
+    colors = channel_map(10, 6)
+    verify_tessellation(colors)
+    print("\n3. Channel tessellation (Fig. 5): c(x,y) = (x + 2y) mod 5")
+    for y in range(5, -1, -1):
+        print("   " + " ".join(str(colors[y, x]) for x in range(10)))
+    print("   at every tile: own colour differs from all four incoming,")
+    print("   and the four incoming are pairwise distinct (verified).")
+
+
+def main() -> None:
+    spmv_demo()
+    allreduce_demo()
+    tessellation_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment's setuptools predates PEP 660 editable wheels; this file
+lets ``pip install -e .`` fall back to ``setup.py develop``.  All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro — reproduction of "Fast Stencil-Code Computation on a
+Wafer-Scale Processor" (Rocki et al., SC 2020).
+
+The library implements the paper's contribution — BiCGStab for 7-point
+stencil systems mapped onto the Cerebras CS-1 wafer-scale engine — plus
+every substrate the paper relies on, in pure Python/NumPy:
+
+* :mod:`repro.precision` — fp16/fp32 mixed-precision arithmetic rules;
+* :mod:`repro.problems` — stencil operators and manufactured systems;
+* :mod:`repro.solver` — BiCGStab (reference and wafer-mapped), CG,
+  iterative refinement;
+* :mod:`repro.wse` — the wafer simulator: tiles, routers, FIFOs, tasks,
+  the Fig. 5 channel tessellation, the Fig. 6 AllReduce;
+* :mod:`repro.kernels` — the SpMV dataflow programs (3D and 2D);
+* :mod:`repro.clustersim` — the message-passing cluster baseline;
+* :mod:`repro.cfd` — a SIMPLE finite-volume solver (the MFIX stand-in);
+* :mod:`repro.perfmodel` — calibrated models for every table/figure;
+* :mod:`repro.analysis` — table and ASCII-figure reporting.
+
+Quickstart::
+
+    import repro
+    sys_ = repro.problems.convection_diffusion_system((32, 32, 64))
+    solver = repro.WaferBiCGStab()
+    result = solver.solve(sys_, rtol=1e-3)
+    print(result.summary())
+    print(result.performance_summary())
+"""
+
+from . import analysis, cfd, clustersim, io, kernels, perfmodel, precision, problems, solver, wse
+from .precision import Precision
+from .problems import (
+    LinearSystem,
+    Stencil7,
+    Stencil9,
+    convection_diffusion_system,
+    poisson_system,
+)
+from .solver import SolveResult, WaferBiCGStab, bicgstab, cg, refined_solve
+from .perfmodel import ClusterModel, SimpleCostModel, WaferPerfModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "cfd",
+    "clustersim",
+    "io",
+    "kernels",
+    "perfmodel",
+    "precision",
+    "problems",
+    "solver",
+    "wse",
+    "Precision",
+    "LinearSystem",
+    "Stencil7",
+    "Stencil9",
+    "convection_diffusion_system",
+    "poisson_system",
+    "SolveResult",
+    "WaferBiCGStab",
+    "bicgstab",
+    "cg",
+    "refined_solve",
+    "ClusterModel",
+    "SimpleCostModel",
+    "WaferPerfModel",
+    "__version__",
+]

@@ -1,0 +1,116 @@
+"""Convergence analytics for solver residual histories.
+
+Utility layer over :class:`~repro.solver.result.SolveResult` histories:
+asymptotic convergence-rate estimation, iterations-to-tolerance
+extrapolation (what the paper's fixed-171-iteration run corresponds to
+at a given tolerance), plateau detection for the mixed-precision
+studies (Fig. 9's defining feature), and a power-iteration condition
+estimate for stencil operators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "convergence_rate",
+    "iterations_to_tolerance",
+    "detect_plateau",
+    "estimate_extreme_eigenvalues",
+]
+
+
+def convergence_rate(residuals, tail: int = 5) -> float:
+    """Geometric-mean per-iteration reduction factor over the tail.
+
+    A value of 0.5 means the residual halves each iteration; >= 1 means
+    stagnation.  Requires at least two entries.
+    """
+    r = np.asarray(residuals, dtype=np.float64)
+    if len(r) < 2:
+        raise ValueError("need at least two residuals")
+    r = np.maximum(r, 1e-300)
+    tail = min(tail, len(r) - 1)
+    ratios = r[-tail:] / r[-tail - 1:-1]
+    return float(np.exp(np.mean(np.log(np.maximum(ratios, 1e-300)))))
+
+
+def iterations_to_tolerance(
+    residuals, rtol: float, max_extrapolation: int = 100_000
+) -> int | None:
+    """Iterations needed to reach ``rtol``, extrapolating at the tail rate.
+
+    Returns the (possibly already-achieved) iteration count, or None
+    when the history stagnates (rate >= 1) before reaching the target.
+    """
+    r = np.asarray(residuals, dtype=np.float64)
+    hit = np.nonzero(r <= rtol)[0]
+    if hit.size:
+        return int(hit[0]) + 1
+    rate = convergence_rate(r)
+    if rate >= 1.0:
+        return None
+    # epsilon guards the exact-power case against float noise
+    extra = int(np.ceil(np.log(rtol / r[-1]) / np.log(rate) - 1e-9))
+    total = len(r) + max(extra, 0)
+    return total if total <= max_extrapolation else None
+
+
+def detect_plateau(
+    residuals, window: int = 4, improvement: float = 0.7
+) -> int | None:
+    """First iteration where the residual stops improving.
+
+    A plateau starts at index ``i`` when over the following ``window``
+    iterations the residual never drops below ``improvement`` times its
+    value at ``i`` (Fig. 9's mixed curve plateaus near iteration 7).
+    Returns the 1-based iteration, or None if no plateau.
+    """
+    r = np.asarray(residuals, dtype=np.float64)
+    for i in range(len(r) - window):
+        if np.all(r[i + 1:i + 1 + window] > improvement * r[i]):
+            return i + 1
+    return None
+
+
+def estimate_extreme_eigenvalues(
+    operator, iterations: int = 80, seed: int = 0
+) -> tuple[float, float]:
+    """(|lambda|_max, sigma_min estimate) via power iteration on A and
+    inverse-free power iteration on the normal residual.
+
+    Rough — intended for conditioning *class* statements (e.g. the
+    stretched-mesh generator making systems harder), not spectra.
+    Returns ``(largest |eigenvalue| of A, smallest singular-value
+    estimate)``.
+    """
+    rng = np.random.default_rng(seed)
+    shape = operator.shape
+    v = rng.standard_normal(shape)
+    v /= np.linalg.norm(v.ravel())
+    lam = 0.0
+    for _ in range(iterations):
+        w = operator.apply(v)
+        lam = float(np.linalg.norm(w.ravel()))
+        if lam == 0.0:
+            return 0.0, 0.0
+        v = w / lam
+    # Smallest singular value via a few steps of inverse iteration on
+    # A^T A approximated by Richardson: cheap lower-bound estimate from
+    # the residual of the best least-squares fit along A v directions.
+    u = rng.standard_normal(shape)
+    u /= np.linalg.norm(u.ravel())
+    # Use shifted power iteration on (lam*I - A^T A / lam) to pull the
+    # small end: sigma_min^2 ~ lam * (lam' shift residual).
+    A = operator.to_csr()
+    x = u.ravel()
+    for _ in range(iterations):
+        y = A.T @ (A @ x)
+        y = lam * lam * x - y
+        n = np.linalg.norm(y)
+        if n == 0:
+            break
+        x = y / n
+    quad = float(x @ (A.T @ (A @ x)))
+    sigma_min = float(np.sqrt(max(quad, 0.0)))
+    return lam, sigma_min

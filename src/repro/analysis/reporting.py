@@ -1,0 +1,110 @@
+"""Report formatting: ASCII tables and series for the reproductions.
+
+Every benchmark prints the rows/series its paper table or figure
+reports; these helpers keep that output consistent and readable in a
+terminal (no plotting dependencies are available offline).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "ascii_plot", "paper_vs_measured"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    floatfmt: str = ".4g",
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    srows = []
+    for row in rows:
+        srow = []
+        for cell in row:
+            if isinstance(cell, float):
+                srow.append(format(cell, floatfmt))
+            else:
+                srow.append(str(cell))
+        srows.append(srow)
+    widths = [len(h) for h in headers]
+    for srow in srows:
+        for i, cell in enumerate(srow):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for srow in srows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(srow, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence, y: Sequence, xlabel: str = "x", ylabel: str = "y",
+    title: str | None = None, floatfmt: str = ".4g",
+) -> str:
+    """Two-column series listing (the data behind a figure)."""
+    return format_table([xlabel, ylabel], list(zip(x, y)), title, floatfmt)
+
+
+def ascii_plot(
+    x: Sequence[float],
+    ys: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    logy: bool = False,
+    title: str | None = None,
+) -> str:
+    """Crude ASCII line chart for one or more series sharing x.
+
+    Good enough to show a figure's *shape* (scaling curves, residual
+    histories) directly in benchmark output.
+    """
+    marks = "*o+x#@"
+    xs = np.asarray(x, dtype=float)
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in ys.values()])
+    if logy:
+        all_y = np.log10(np.maximum(all_y, 1e-300))
+    lo, hi = float(all_y.min()), float(all_y.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, yv) in enumerate(ys.items()):
+        yy = np.asarray(yv, dtype=float)
+        if logy:
+            yy = np.log10(np.maximum(yy, 1e-300))
+        for xi, yval in zip(xs, yy):
+            col = int((xi - xs.min()) / max(xs.max() - xs.min(), 1e-300) * (width - 1))
+            row = int((yval - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][col] = marks[si % len(marks)]
+    lines = []
+    if title:
+        lines.append(title)
+    ytop = f"1e{hi:.1f}" if logy else f"{hi:.3g}"
+    ybot = f"1e{lo:.1f}" if logy else f"{lo:.3g}"
+    lines.append(f"  {ytop}")
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append(f"  {ybot}" + " " * max(width - 12, 1) + f"x: {xs.min():g}..{xs.max():g}")
+    legend = "   ".join(f"{marks[i % len(marks)]} {name}" for i, name in enumerate(ys))
+    lines.append("  " + legend)
+    return "\n".join(lines)
+
+
+def paper_vs_measured(records: Iterable[dict]) -> str:
+    """Standard EXPERIMENTS.md-style comparison table.
+
+    Each record: ``{"quantity", "paper", "measured", "note"?}``.
+    """
+    rows = []
+    for r in records:
+        rows.append(
+            (r["quantity"], r["paper"], r["measured"], r.get("note", ""))
+        )
+    return format_table(["quantity", "paper", "measured", "note"], rows)

@@ -1,0 +1,50 @@
+"""SIMPLE finite-volume CFD substrate (the MFIX stand-in; paper §VI).
+
+* :mod:`~repro.cfd.mesh` / :mod:`~repro.cfd.fields` — staggered mesh
+  and flow state.
+* :mod:`~repro.cfd.discretization` — first-order-upwind momentum and
+  pressure-correction assembly (instrumented for Table II).
+* :mod:`~repro.cfd.simple` — the Algorithm 2 outer loop with the
+  paper's 5/20 BiCGStab iteration budgets.
+* :mod:`~repro.cfd.cavity` — lid-driven cavity setup and the Ghia
+  benchmark sanity data.
+* :mod:`~repro.cfd.opcounter` — the merge/flop/sqrt/divide/transport
+  operation taxonomy.
+"""
+
+from .mesh import StaggeredMesh2D
+from .fields import FlowField
+from .opcounter import CYCLE_COSTS, OpCounter, PhaseCounts, to_cycles
+from .discretization import (
+    pressure_correction_system,
+    u_momentum_system,
+    v_momentum_system,
+)
+from .simple import SimpleResult, SimpleSolver
+from .cavity import GHIA_RE100_U, centerline_u, lid_driven_cavity
+from .transient import TransientResult, TransientSimpleSolver
+from .mesh3d import StaggeredMesh3D
+from .simple3d import FlowField3D, Simple3DResult, SimpleSolver3D
+
+__all__ = [
+    "StaggeredMesh2D",
+    "FlowField",
+    "CYCLE_COSTS",
+    "OpCounter",
+    "PhaseCounts",
+    "to_cycles",
+    "pressure_correction_system",
+    "u_momentum_system",
+    "v_momentum_system",
+    "SimpleResult",
+    "SimpleSolver",
+    "GHIA_RE100_U",
+    "centerline_u",
+    "lid_driven_cavity",
+    "TransientResult",
+    "TransientSimpleSolver",
+    "StaggeredMesh3D",
+    "FlowField3D",
+    "Simple3DResult",
+    "SimpleSolver3D",
+]

@@ -1,0 +1,69 @@
+"""Lid-driven cavity: the canonical SIMPLE validation workload.
+
+The paper's cluster comparison solved systems "within the NETL MFIX code
+while computing a lid-driven cavity flow" (section V.A).  This module
+sets the problem up and provides the classic Ghia et al. (1982)
+centerline benchmark values for Re=100, used as a loose physical sanity
+check on the solver (first-order upwinding on coarse meshes is diffusive,
+so the comparison is qualitative by design).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .mesh import StaggeredMesh2D
+from .simple import SimpleResult, SimpleSolver
+
+__all__ = ["lid_driven_cavity", "centerline_u", "GHIA_RE100_U"]
+
+#: Ghia, Ghia & Shin (1982): u-velocity along the vertical centerline for
+#: Re=100, selected (y, u) pairs.
+GHIA_RE100_U = [
+    (0.0547, -0.03717),
+    (0.1719, -0.10150),
+    (0.2813, -0.15662),
+    (0.4531, -0.21090),
+    (0.5000, -0.20581),
+    (0.6172, -0.13641),
+    (0.7344, 0.00332),
+    (0.8516, 0.23151),
+    (0.9531, 0.68717),
+    (0.9766, 0.84123),
+]
+
+
+def lid_driven_cavity(
+    n: int = 32,
+    reynolds: float = 100.0,
+    lid_speed: float = 1.0,
+    alpha_u: float = 0.7,
+    alpha_p: float = 0.3,
+) -> SimpleSolver:
+    """Configure the unit square cavity at a Reynolds number.
+
+    ``Re = lid_speed * L / nu`` with unit length and density, so
+    ``mu = lid_speed / Re``.
+    """
+    if reynolds <= 0:
+        raise ValueError("Reynolds number must be positive")
+    mesh = StaggeredMesh2D(n, n)
+    return SimpleSolver(
+        mesh=mesh,
+        viscosity=lid_speed / reynolds,
+        u_lid=lid_speed,
+        alpha_u=alpha_u,
+        alpha_p=alpha_p,
+    )
+
+
+def centerline_u(result: SimpleResult) -> tuple[np.ndarray, np.ndarray]:
+    """u-velocity along the vertical centerline (x = 0.5).
+
+    Returns ``(y, u)`` at the u-face column nearest the centerline.
+    """
+    field = result.field
+    m = field.mesh
+    i = m.nx // 2  # u-face at x = i*dx = 0.5 for even n
+    y = (np.arange(m.ny) + 0.5) * m.dy
+    return y, field.u[i, :].copy()

@@ -1,0 +1,58 @@
+"""Flow-field state for the staggered SIMPLE solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .mesh import StaggeredMesh2D
+
+__all__ = ["FlowField"]
+
+
+@dataclass
+class FlowField:
+    """Velocity and pressure on a staggered mesh.
+
+    ``u`` includes the boundary faces ``u[0, :]`` / ``u[nx, :]`` (fixed
+    by boundary conditions), likewise ``v[:, 0]`` / ``v[:, ny]``; the
+    lid's tangential velocity enters through wall-shear terms, not
+    through these arrays.
+    """
+
+    mesh: StaggeredMesh2D
+    u: np.ndarray = field(default=None)  # type: ignore[assignment]
+    v: np.ndarray = field(default=None)  # type: ignore[assignment]
+    p: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        m = self.mesh
+        if self.u is None:
+            self.u = np.zeros(m.u_shape)
+        if self.v is None:
+            self.v = np.zeros(m.v_shape)
+        if self.p is None:
+            self.p = np.zeros((m.nx, m.ny))
+        if self.u.shape != m.u_shape or self.v.shape != m.v_shape:
+            raise ValueError("field shapes do not match the staggered mesh")
+
+    def divergence(self) -> np.ndarray:
+        """Cell-wise mass imbalance ``(du/dx + dv/dy) * cell_area``."""
+        m = self.mesh
+        return (self.u[1:, :] - self.u[:-1, :]) * m.dy + (
+            self.v[:, 1:] - self.v[:, :-1]
+        ) * m.dx
+
+    def continuity_residual(self) -> float:
+        """Total absolute mass imbalance (the SIMPLE convergence metric)."""
+        return float(np.sum(np.abs(self.divergence())))
+
+    def cell_center_velocity(self) -> tuple[np.ndarray, np.ndarray]:
+        """Velocities interpolated to pressure-cell centres (nx, ny)."""
+        uc = 0.5 * (self.u[1:, :] + self.u[:-1, :])
+        vc = 0.5 * (self.v[:, 1:] + self.v[:, :-1])
+        return uc, vc
+
+    def copy(self) -> "FlowField":
+        return FlowField(self.mesh, self.u.copy(), self.v.copy(), self.p.copy())

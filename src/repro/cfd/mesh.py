@@ -1,0 +1,66 @@
+"""Cartesian staggered mesh for the SIMPLE solver.
+
+MFIX is "a general purpose, Cartesian mesh, multi-phase CFD code"
+(paper section VI); our stand-in uses the classic staggered (MAC)
+arrangement — pressure at cell centres, velocity components on faces —
+which is the textbook-robust home for the SIMPLE pressure-velocity
+coupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StaggeredMesh2D"]
+
+
+@dataclass(frozen=True)
+class StaggeredMesh2D:
+    """Uniform 2D staggered mesh.
+
+    * pressure cells: ``nx x ny`` at centres;
+    * u-velocity: ``(nx+1) x ny`` on vertical (x-normal) faces;
+    * v-velocity: ``nx x (ny+1)`` on horizontal (y-normal) faces.
+    """
+
+    nx: int
+    ny: int
+    lx: float = 1.0
+    ly: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nx < 3 or self.ny < 3:
+            raise ValueError("SIMPLE needs at least a 3x3 pressure grid")
+        if self.lx <= 0 or self.ly <= 0:
+            raise ValueError("domain lengths must be positive")
+
+    @property
+    def dx(self) -> float:
+        return self.lx / self.nx
+
+    @property
+    def dy(self) -> float:
+        return self.ly / self.ny
+
+    @property
+    def n_cells(self) -> int:
+        return self.nx * self.ny
+
+    @property
+    def u_shape(self) -> tuple[int, int]:
+        """Full u-array shape, including boundary faces."""
+        return (self.nx + 1, self.ny)
+
+    @property
+    def v_shape(self) -> tuple[int, int]:
+        """Full v-array shape, including boundary faces."""
+        return (self.nx, self.ny + 1)
+
+    @property
+    def u_interior(self) -> tuple[int, int]:
+        """Interior (solved-for) u unknowns: faces between cells."""
+        return (self.nx - 1, self.ny)
+
+    @property
+    def v_interior(self) -> tuple[int, int]:
+        return (self.nx, self.ny - 1)

@@ -1,0 +1,71 @@
+"""3D Cartesian staggered mesh (the full MFIX-style arrangement)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StaggeredMesh3D"]
+
+
+@dataclass(frozen=True)
+class StaggeredMesh3D:
+    """Uniform 3D staggered (MAC) mesh.
+
+    * pressure: ``nx x ny x nz`` cell centres;
+    * u: ``(nx+1, ny, nz)`` on x-normal faces;
+    * v: ``(nx, ny+1, nz)`` on y-normal faces;
+    * w: ``(nx, ny, nz+1)`` on z-normal faces.
+    """
+
+    nx: int
+    ny: int
+    nz: int
+    lx: float = 1.0
+    ly: float = 1.0
+    lz: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.nx, self.ny, self.nz) < 3:
+            raise ValueError("SIMPLE needs at least 3 cells per direction")
+        if min(self.lx, self.ly, self.lz) <= 0:
+            raise ValueError("domain lengths must be positive")
+
+    @property
+    def dx(self) -> float:
+        return self.lx / self.nx
+
+    @property
+    def dy(self) -> float:
+        return self.ly / self.ny
+
+    @property
+    def dz(self) -> float:
+        return self.lz / self.nz
+
+    @property
+    def n_cells(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def u_shape(self) -> tuple[int, int, int]:
+        return (self.nx + 1, self.ny, self.nz)
+
+    @property
+    def v_shape(self) -> tuple[int, int, int]:
+        return (self.nx, self.ny + 1, self.nz)
+
+    @property
+    def w_shape(self) -> tuple[int, int, int]:
+        return (self.nx, self.ny, self.nz + 1)
+
+    @property
+    def u_interior(self) -> tuple[int, int, int]:
+        return (self.nx - 1, self.ny, self.nz)
+
+    @property
+    def v_interior(self) -> tuple[int, int, int]:
+        return (self.nx, self.ny - 1, self.nz)
+
+    @property
+    def w_interior(self) -> tuple[int, int, int]:
+        return (self.nx, self.ny, self.nz - 1)

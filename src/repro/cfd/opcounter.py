@@ -1,0 +1,84 @@
+"""Operation accounting for the SIMPLE phases (the Table II taxonomy).
+
+The paper groups the non-solver work of a SIMPLE step into "vector merge
+operations, floating point (FLOP) operations (multiply, add, subtract),
+square root, divide, and neighbor transport operations" and estimates
+cycles per meshpoint for each phase (Table II).  The assembly routines
+in :mod:`repro.cfd` report their per-meshpoint operation counts through
+this module, and :func:`to_cycles` converts counts to CS-1 cycles with
+the per-operation costs Table II itself implies (one sqrt = 13 cycles,
+one divide = 15-16, merges and transports ~1 cycle/point, flops at
+SIMD-4 throughput).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["OpCounter", "PhaseCounts", "to_cycles", "CYCLE_COSTS"]
+
+#: Per-operation cycle costs per meshpoint (see module docstring).
+CYCLE_COSTS = {
+    "merge": 1.0,
+    "flop": 0.25,  # SIMD-4 fp16/fp32 vector flops
+    "sqrt": 13.0,
+    "divide": 15.5,
+    "transport": 1.0,
+}
+
+CATEGORIES = tuple(CYCLE_COSTS)
+
+
+@dataclass
+class PhaseCounts:
+    """Per-meshpoint operation counts for one SIMPLE phase."""
+
+    name: str
+    counts: dict[str, float] = field(default_factory=dict)
+
+    def add(self, category: str, per_point: float) -> None:
+        if category not in CYCLE_COSTS:
+            raise KeyError(
+                f"unknown category {category!r}; expected one of {CATEGORIES}"
+            )
+        self.counts[category] = self.counts.get(category, 0.0) + per_point
+
+    def cycles(self) -> float:
+        """Modeled CS-1 cycles per meshpoint for this phase."""
+        return to_cycles(self.counts)
+
+
+def to_cycles(counts: dict[str, float]) -> float:
+    """Convert per-point operation counts to cycles per meshpoint."""
+    return sum(CYCLE_COSTS[k] * v for k, v in counts.items())
+
+
+class OpCounter:
+    """Collects phase counts across one SIMPLE iteration.
+
+    The solver calls ``phase("Momentum")`` to get (or create) the
+    accumulator for a phase; disabled counters (the default) swallow the
+    bookkeeping with near-zero overhead.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.phases: dict[str, PhaseCounts] = {}
+
+    def phase(self, name: str) -> PhaseCounts:
+        if name not in self.phases:
+            self.phases[name] = PhaseCounts(name)
+        return self.phases[name]
+
+    def add(self, phase: str, category: str, per_point: float) -> None:
+        if self.enabled:
+            self.phase(phase).add(category, per_point)
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """Phase -> {category counts..., 'cycles': total} mapping."""
+        out = {}
+        for name, pc in self.phases.items():
+            rec = dict(pc.counts)
+            rec["cycles"] = pc.cycles()
+            out[name] = rec
+        return out

@@ -1,0 +1,78 @@
+"""Command-line interface: ``python -m repro <report> [...]``.
+
+Regenerates any of the paper's tables/figures from the terminal without
+writing a script.  ``python -m repro list`` shows what is available;
+``python -m repro all`` prints everything (the quick-look version of
+``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.reports import REPORTS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Fast Stencil-Code Computation on a "
+            "Wafer-Scale Processor' (SC 2020): regenerate the paper's "
+            "tables and figures."
+        ),
+    )
+    parser.add_argument(
+        "report",
+        nargs="?",
+        default="list",
+        help="report name, 'list', 'all', or 'write-report' (default: list)",
+    )
+    parser.add_argument(
+        "--output",
+        default="experiments_regenerated.md",
+        help="output path for write-report",
+    )
+    return parser
+
+
+def _describe() -> str:
+    lines = ["available reports:"]
+    for name, fn in REPORTS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        lines.append(f"  {name:<10} {doc}")
+    lines.append("  all        print every report")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    name = args.report
+    if name == "list":
+        print(_describe())
+        return 0
+    if name == "all":
+        for key, fn in REPORTS.items():
+            print(f"\n{'=' * 70}\n== {key}\n{'=' * 70}")
+            print(fn())
+        return 0
+    if name == "write-report":
+        from .analysis.harness import write_report
+
+        path = write_report(args.output)
+        print(f"wrote {path}")
+        return 0
+    fn = REPORTS.get(name)
+    if fn is None:
+        print(f"unknown report {name!r}\n", file=sys.stderr)
+        print(_describe(), file=sys.stderr)
+        return 2
+    print(fn())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

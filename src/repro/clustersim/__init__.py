@@ -1,0 +1,20 @@
+"""Cluster-baseline substrate: the simulated Joule 2.0 comparison system.
+
+* :mod:`~repro.clustersim.decomp` — 3D domain decomposition.
+* :mod:`~repro.clustersim.comm` — virtual-time message passing
+  (roofline compute charges, alpha-beta links, tree AllReduce).
+* :mod:`~repro.clustersim.bicgstab` — the distributed fp64 BiCGStab the
+  paper compares against (section V.A, Figs. 7-8).
+"""
+
+from .decomp import Decomposition3D, choose_rank_grid
+from .comm import VirtualComm
+from .bicgstab import ClusterBiCGStab, cluster_bicgstab
+
+__all__ = [
+    "Decomposition3D",
+    "choose_rank_grid",
+    "VirtualComm",
+    "ClusterBiCGStab",
+    "cluster_bicgstab",
+]

@@ -1,0 +1,127 @@
+"""3D domain decomposition for the cluster baseline.
+
+MFIX-style MPI BiCGStab partitions the mesh into one block per rank;
+each rank holds a one-deep ghost layer it refreshes from its (up to six)
+face neighbours before every SpMV.  This module computes the rank grid,
+block extents, and neighbour relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Decomposition3D", "choose_rank_grid"]
+
+
+def choose_rank_grid(nranks: int, shape: tuple[int, int, int]) -> tuple[int, int, int]:
+    """Pick a rank grid ``(px, py, pz)`` with ``px*py*pz == nranks``.
+
+    Greedy: among all factorizations, minimize the total halo surface
+    (the quantity communication cost scales with), preferring balanced,
+    nearly cubic subdomains as MPI cartesian communicators do.
+    """
+    if nranks <= 0:
+        raise ValueError("nranks must be positive")
+    nx, ny, nz = shape
+    best = None
+    best_surface = None
+    for px in range(1, nranks + 1):
+        if nranks % px:
+            continue
+        rest = nranks // px
+        for py in range(1, rest + 1):
+            if rest % py:
+                continue
+            pz = rest // py
+            if px > nx or py > ny or pz > nz:
+                continue
+            bx, by, bz = nx / px, ny / py, nz / pz
+            surface = 2 * (bx * by + by * bz + bx * bz)
+            if best_surface is None or surface < best_surface:
+                best_surface = surface
+                best = (px, py, pz)
+    if best is None:
+        raise ValueError(f"cannot decompose mesh {shape} over {nranks} ranks")
+    return best
+
+
+@dataclass
+class Decomposition3D:
+    """Partition of an ``nx x ny x nz`` mesh over a rank grid."""
+
+    shape: tuple[int, int, int]
+    grid: tuple[int, int, int]
+
+    def __post_init__(self) -> None:
+        for n, p in zip(self.shape, self.grid):
+            if p <= 0 or p > n:
+                raise ValueError(
+                    f"rank grid {self.grid} invalid for mesh {self.shape}"
+                )
+        self._bounds = [
+            np.array_split(np.arange(n), p) for n, p in zip(self.shape, self.grid)
+        ]
+
+    @property
+    def nranks(self) -> int:
+        px, py, pz = self.grid
+        return px * py * pz
+
+    def rank_coords(self, rank: int) -> tuple[int, int, int]:
+        """Rank -> (rx, ry, rz) in the rank grid (C order, z fastest)."""
+        px, py, pz = self.grid
+        if not (0 <= rank < self.nranks):
+            raise IndexError(f"rank {rank} out of range")
+        rz = rank % pz
+        ry = (rank // pz) % py
+        rx = rank // (py * pz)
+        return rx, ry, rz
+
+    def rank_of(self, rx: int, ry: int, rz: int) -> int:
+        px, py, pz = self.grid
+        return (rx * py + ry) * pz + rz
+
+    def block(self, rank: int) -> tuple[slice, slice, slice]:
+        """Global index slices owned by ``rank``."""
+        rx, ry, rz = self.rank_coords(rank)
+        xs = self._bounds[0][rx]
+        ys = self._bounds[1][ry]
+        zs = self._bounds[2][rz]
+        return (
+            slice(int(xs[0]), int(xs[-1]) + 1),
+            slice(int(ys[0]), int(ys[-1]) + 1),
+            slice(int(zs[0]), int(zs[-1]) + 1),
+        )
+
+    def block_shape(self, rank: int) -> tuple[int, int, int]:
+        sl = self.block(rank)
+        return tuple(s.stop - s.start for s in sl)  # type: ignore[return-value]
+
+    def neighbors(self, rank: int) -> dict[str, int]:
+        """Face neighbours: direction name -> rank (absent at walls)."""
+        rx, ry, rz = self.rank_coords(rank)
+        px, py, pz = self.grid
+        out = {}
+        if rx + 1 < px:
+            out["xp"] = self.rank_of(rx + 1, ry, rz)
+        if rx - 1 >= 0:
+            out["xm"] = self.rank_of(rx - 1, ry, rz)
+        if ry + 1 < py:
+            out["yp"] = self.rank_of(rx, ry + 1, rz)
+        if ry - 1 >= 0:
+            out["ym"] = self.rank_of(rx, ry - 1, rz)
+        if rz + 1 < pz:
+            out["zp"] = self.rank_of(rx, ry, rz + 1)
+        if rz - 1 >= 0:
+            out["zm"] = self.rank_of(rx, ry, rz - 1)
+        return out
+
+    def validate_cover(self) -> None:
+        """Assert the blocks tile the mesh exactly once (test hook)."""
+        seen = np.zeros(self.shape, dtype=np.int32)
+        for r in range(self.nranks):
+            seen[self.block(r)] += 1
+        if not np.all(seen == 1):
+            raise AssertionError("decomposition does not tile the mesh exactly")

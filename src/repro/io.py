@@ -1,0 +1,106 @@
+"""Persistence: save and load stencil systems as ``.npz`` archives.
+
+Reproduction hygiene: the manufactured systems standing in for MFIX's
+matrices (DESIGN.md §2) should be shareable artifacts, so a result can
+be re-run against the *same* system rather than a same-seed
+reconstruction.  The format is a flat NumPy archive: coefficient arrays
+keyed ``coeff_<leg>``, the RHS, the optional true solution, and a JSON
+metadata blob.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .problems.stencil7 import OFFSETS_7PT, Stencil7
+from .problems.stencil9 import OFFSETS_9PT, Stencil9
+from .problems.system import LinearSystem
+
+__all__ = ["save_system", "load_system"]
+
+_FORMAT_VERSION = 1
+
+
+def save_system(system: LinearSystem, path: str | Path) -> Path:
+    """Write a :class:`LinearSystem` to ``path`` (``.npz`` appended if
+    missing).  Returns the written path."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    op = system.operator
+    if isinstance(op, Stencil7):
+        kind = "stencil7"
+    elif isinstance(op, Stencil9):
+        kind = "stencil9"
+    else:
+        raise TypeError(
+            f"cannot persist operator of type {type(op).__name__}; "
+            "only Stencil7/Stencil9 systems are supported"
+        )
+    payload: dict = {
+        f"coeff_{name}": arr for name, arr in op.coeffs.items()
+    }
+    payload["b"] = system.b
+    if system.x_true is not None:
+        payload["x_true"] = system.x_true
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "kind": kind,
+        "name": system.name,
+        "meta": _jsonable(system.meta),
+    }
+    payload["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_system(path: str | Path) -> LinearSystem:
+    """Read a system written by :func:`save_system`.
+
+    Raises ``ValueError`` on unknown format versions or operator kinds.
+    """
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta_json"]).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported format version {meta.get('format_version')!r}"
+            )
+        kind = meta["kind"]
+        offsets = {"stencil7": OFFSETS_7PT, "stencil9": OFFSETS_9PT}.get(kind)
+        if offsets is None:
+            raise ValueError(f"unknown operator kind {kind!r}")
+        coeffs = {
+            name: data[f"coeff_{name}"]
+            for name in offsets
+            if f"coeff_{name}" in data
+        }
+        cls = Stencil7 if kind == "stencil7" else Stencil9
+        op = cls(coeffs)
+        x_true = data["x_true"] if "x_true" in data else None
+        return LinearSystem(
+            operator=op,
+            b=data["b"],
+            x_true=x_true,
+            name=meta.get("name", "loaded"),
+            meta=meta.get("meta", {}),
+        )
+
+
+def _jsonable(obj):
+    """Best-effort conversion of metadata values to JSON-safe types."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return obj

@@ -1,0 +1,42 @@
+"""Wafer kernels: the SpMV dataflow programs and their functional twins.
+
+* :mod:`repro.kernels.spmv3d` — Listing 1's task/thread/FIFO program on
+  the discrete tile simulator, plus the vectorized functional SpMV.
+* :mod:`repro.kernels.spmv2d` — the 2D block mapping with output-halo
+  exchange and its memory/efficiency models.
+"""
+
+from .spmv3d import build_spmv_fabric, run_spmv_des, spmv_functional, SpmvProgram
+from .bicgstab_des import DESBiCGStab, DESCycleReport
+from .blas_des import run_axpy_des, run_dot_des
+from .spmv2d_des import build_spmv2d_fabric, run_spmv2d_des
+from .microbench import StreamResult, run_stream_suite
+from .spmv2d import (
+    Block2DModel,
+    block_memory_words,
+    block_spmv,
+    halo_overhead_fraction,
+    max_block_size,
+    max_mesh_extent,
+)
+
+__all__ = [
+    "DESBiCGStab",
+    "DESCycleReport",
+    "run_axpy_des",
+    "run_dot_des",
+    "build_spmv2d_fabric",
+    "run_spmv2d_des",
+    "StreamResult",
+    "run_stream_suite",
+    "build_spmv_fabric",
+    "run_spmv_des",
+    "spmv_functional",
+    "SpmvProgram",
+    "Block2DModel",
+    "block_memory_words",
+    "block_spmv",
+    "halo_overhead_fraction",
+    "max_block_size",
+    "max_mesh_extent",
+]

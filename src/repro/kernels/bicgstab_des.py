@@ -1,0 +1,184 @@
+"""BiCGStab driven through the discrete tile simulator.
+
+The deepest-fidelity execution mode: every SpMV runs as the Listing 1
+task/thread/FIFO program on the word-level fabric simulator, and every
+inner product's cross-wafer reduction runs as the Fig. 6 AllReduce on
+its own simulated fabric — so a whole BiCGStab iteration's data motion
+is executed, not modeled.  AXPY updates are core-local by construction
+(no fabric traffic) and are computed functionally with their cycle cost
+charged from the SIMD model.
+
+This mode exists to *validate* the functional solver and the analytic
+model (tests assert all three agree); it is usable for meshes up to a
+few thousand points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..precision import Precision, spec_for
+from ..problems.stencil7 import Stencil7
+from ..solver.result import SolveResult
+from ..wse.allreduce import simulate_allreduce
+from ..wse.config import CS1, MachineConfig
+from .spmv3d import run_spmv_des
+
+__all__ = ["DESBiCGStab", "DESCycleReport"]
+
+
+@dataclass
+class DESCycleReport:
+    """Cycle accounting for a DES-mode solve."""
+
+    spmv_cycles: int = 0
+    allreduce_cycles: int = 0
+    axpy_cycles: int = 0
+    dot_local_cycles: int = 0
+    spmv_runs: int = 0
+    allreduce_runs: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return (
+            self.spmv_cycles
+            + self.allreduce_cycles
+            + self.axpy_cycles
+            + self.dot_local_cycles
+        )
+
+    def per_iteration(self, iterations: int) -> float:
+        return self.total_cycles / max(iterations, 1)
+
+
+@dataclass
+class DESBiCGStab:
+    """Mixed-precision BiCGStab with simulated data motion.
+
+    Parameters
+    ----------
+    operator:
+        Unit-diagonal :class:`Stencil7` (the wafer kernel's requirement).
+    config:
+        Machine constants (SIMD width for the AXPY/dot cycle charges).
+    """
+
+    operator: Stencil7
+    config: MachineConfig = field(default_factory=lambda: CS1)
+
+    def __post_init__(self) -> None:
+        if not self.operator.has_unit_diagonal:
+            raise ValueError(
+                "DES BiCGStab requires a Jacobi-preconditioned operator"
+            )
+        self.report = DESCycleReport()
+
+    # ------------------------------------------------------------------
+    # Simulated kernels
+    # ------------------------------------------------------------------
+    def _spmv(self, v: np.ndarray) -> np.ndarray:
+        u, cycles = run_spmv_des(self.operator, v.astype(np.float16))
+        self.report.spmv_cycles += cycles
+        self.report.spmv_runs += 1
+        return u.astype(np.float16)
+
+    def _dot(self, a: np.ndarray, b: np.ndarray) -> float:
+        """fp16-multiply / fp32-accumulate local dot, then the simulated
+        Fig. 6 AllReduce over the per-tile partials."""
+        nx, ny, nz = self.operator.shape
+        prod = a.astype(np.float32) * b.astype(np.float32)
+        partials = np.add.reduce(prod, axis=2, dtype=np.float32)  # (nx, ny)
+        self.report.dot_local_cycles += int(
+            np.ceil(nz / self.config.mixed_fmacs_per_cycle)
+        )
+        if nx >= 2 and ny >= 2:
+            total, cycles = simulate_allreduce(partials.T)  # (rows=y, cols=x)
+            self.report.allreduce_cycles += cycles
+            self.report.allreduce_runs += 1
+            return float(total)
+        # Degenerate fabrics (1 x N) fall back to a tree-ordered sum.
+        return float(np.add.reduce(partials.ravel(), dtype=np.float32))
+
+    def _axpy(self, a: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """fp16 ``y + a*x`` with the SIMD-4 cycle charge."""
+        self.report.axpy_cycles += int(
+            np.ceil(self.operator.shape[2] / self.config.simd_width_fp16)
+        )
+        return (y + np.float16(np.float32(a)) * x).astype(np.float16)
+
+    # ------------------------------------------------------------------
+    def solve(
+        self, b: np.ndarray, rtol: float = 5e-3, maxiter: int = 30
+    ) -> SolveResult:
+        """Run BiCGStab with every SpMV and AllReduce simulated.
+
+        Returns a :class:`SolveResult` whose ``info`` carries the
+        :class:`DESCycleReport` and derived per-iteration cycles.
+        """
+        spec = spec_for(Precision.MIXED)
+        shape = self.operator.shape
+        b16 = np.asarray(b, dtype=np.float64).reshape(shape).astype(np.float16)
+        bnorm = float(np.sqrt(max(self._dot(b16, b16), 0.0)))
+        if bnorm == 0.0:
+            return SolveResult(
+                x=np.zeros(shape), converged=True, iterations=0,
+                residuals=[0.0], precision="mixed(des)",
+            )
+        x = np.zeros(shape, dtype=np.float16)
+        r = b16.copy()
+        r0 = r.copy()
+        p = r.copy()
+        rho = np.float32(self._dot(r0, r))
+        residuals: list[float] = []
+        converged = False
+        breakdown = None
+        it = 0
+        for it in range(1, maxiter + 1):
+            if abs(float(rho)) < np.finfo(np.float64).tiny:
+                breakdown = "rho"
+                it -= 1
+                break
+            s = self._spmv(p)
+            r0s = np.float32(self._dot(r0, s))
+            if abs(float(r0s)) < np.finfo(np.float64).tiny:
+                breakdown = "rho"
+                it -= 1
+                break
+            alpha = np.float32(rho / r0s)
+            q = self._axpy(-float(alpha), s, r)
+            y = self._spmv(q)
+            qy = np.float32(self._dot(q, y))
+            yy = np.float32(self._dot(y, y))
+            omega = np.float32(0.0) if abs(float(yy)) < np.finfo(np.float64).tiny \
+                else np.float32(qy / yy)
+            x = self._axpy(float(alpha), p, x)
+            x = self._axpy(float(omega), q, x)
+            r = self._axpy(-float(omega), y, q)
+            rho_new = np.float32(self._dot(r0, r))
+            res = float(np.sqrt(max(self._dot(r, r), 0.0))) / bnorm
+            residuals.append(res)
+            if res <= rtol:
+                converged = True
+                break
+            if abs(float(omega)) < np.finfo(np.float64).tiny:
+                breakdown = "omega"
+                break
+            beta = np.float32((alpha / omega) * (rho_new / rho))
+            rho = rho_new
+            p = self._axpy(float(beta), self._axpy(-float(omega), s, p), r)
+
+        return SolveResult(
+            x=x.astype(np.float64),
+            converged=converged,
+            iterations=it,
+            residuals=residuals,
+            breakdown=breakdown,
+            precision="mixed(des)",
+            info={
+                "report": self.report,
+                "cycles_per_iteration": self.report.per_iteration(it),
+                "storage_epsilon": spec.epsilon,
+            },
+        )

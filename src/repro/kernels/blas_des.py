@@ -1,0 +1,112 @@
+"""Core-local BLAS kernels as tile programs (AXPY and the mixed dot).
+
+The paper's section IV.4 dispatches AXPY in one line — "These operate on
+core-local fp16 data and use the four-way SIMD capability" — and the
+dots use "a hardware inner product instruction that employs mixed
+16-bit multiply/32-bit add precision".  These two kernels, as actual
+instruction programs on the core model:
+
+* :func:`run_axpy_des` — ``y + a*x`` as a single SIMD-4 tensor
+  instruction streaming two memory vectors (one launch, ceil(Z/4)
+  cycles);
+* :func:`run_dot_des` — the mixed-precision dot as a single ``mac``
+  instruction into a fp32 :class:`ScalarAccumulator` at the hardware's
+  2-FMAC-per-cycle rate (ceil(Z/2) cycles).
+
+Together with the SpMV program (:mod:`repro.kernels.spmv3d`) and the
+AllReduce (:mod:`repro.wse.allreduce`) these cover every kernel of a
+BiCGStab iteration at the instruction level; tests cross-check them
+against :mod:`repro.precision`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..wse.config import CS1, MachineConfig
+from ..wse.core import Core
+from ..wse.dsr import Instruction, MemCursor, ScalarAccumulator
+
+__all__ = ["run_axpy_des", "run_dot_des"]
+
+
+def _single_core(config: MachineConfig) -> Core:
+    return Core(0, 0, config)
+
+
+def run_axpy_des(
+    a: float,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: MachineConfig = CS1,
+) -> tuple[np.ndarray, int]:
+    """AXPY ``y + a*x`` as one tile instruction.
+
+    Returns ``(result fp16 array, cycles)``.  The cycle count is the
+    SIMD-4 streaming cost plus the single launch cycle; the result is
+    bit-identical to :func:`repro.precision.ops.axpy` in mixed mode
+    (tested).
+    """
+    x16 = np.asarray(x, dtype=np.float16).ravel()
+    y16 = np.asarray(y, dtype=np.float16).ravel()
+    if x16.shape != y16.shape:
+        raise ValueError("x and y must have the same length")
+    n = x16.size
+    core = _single_core(config)
+    xa = core.memory.store("x", x16)
+    ya = core.memory.store("y", y16)
+    out = core.memory.alloc("out", n, np.float16)
+    instr = Instruction(
+        op="axpy",
+        dst=MemCursor(out, 0, n, name="out"),
+        srcs=[MemCursor(ya, 0, n, name="y"), MemCursor(xa, 0, n, name="x")],
+        length=n,
+        scalar=float(np.float16(np.float32(a))),
+        rate=config.simd_width_fp16,
+        name="axpy",
+    )
+    core.launch(instr, thread=0)
+    cycles = 0
+    while not instr.finished:
+        core.step()
+        cycles += 1
+        if cycles > 10 * n + 10:  # pragma: no cover - defensive
+            raise RuntimeError("AXPY program did not finish")
+    return out.copy(), cycles
+
+
+def run_dot_des(
+    x: np.ndarray,
+    y: np.ndarray,
+    config: MachineConfig = CS1,
+) -> tuple[float, int]:
+    """The mixed-precision dot as one tile instruction.
+
+    fp16 operands, exact products (fp32), fp32 accumulation, at the
+    hardware's 2 elements per cycle.  Returns ``(value, cycles)``.
+    """
+    x16 = np.asarray(x, dtype=np.float16).ravel()
+    y16 = np.asarray(y, dtype=np.float16).ravel()
+    if x16.shape != y16.shape:
+        raise ValueError("x and y must have the same length")
+    n = x16.size
+    core = _single_core(config)
+    xa = core.memory.store("x", x16)
+    ya = core.memory.store("y", y16)
+    acc = ScalarAccumulator(np.float32, name="dot_acc")
+    instr = Instruction(
+        op="mac",
+        dst=acc,
+        srcs=[MemCursor(xa, 0, n, name="x"), MemCursor(ya, 0, n, name="y")],
+        length=n,
+        rate=config.mixed_fmacs_per_cycle,
+        name="dot",
+    )
+    core.launch(instr, thread=0)
+    cycles = 0
+    while not instr.finished:
+        core.step()
+        cycles += 1
+        if cycles > 10 * n + 10:  # pragma: no cover - defensive
+            raise RuntimeError("dot program did not finish")
+    return float(acc.value), cycles

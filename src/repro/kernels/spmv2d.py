@@ -1,0 +1,217 @@
+"""The 2D mapping: 9-point SpMV with block decomposition (section IV.2).
+
+For a large 2D mesh, each core holds a rectangular ``b x b`` block of
+the mesh and *all nine column coefficients* of its points.  The local
+multiply generates products for an *output halo* — contributions to
+rows owned by neighbouring cores — which are exchanged and added:
+"After multiplication of the local v with the local A we have generated
+products in an output halo that must be sent to neighboring tiles."
+
+This module provides:
+
+* :func:`block_spmv` — an executable output-halo-exchange SpMV over a
+  block decomposition, verified against the row-wise
+  :class:`~repro.problems.stencil9.Stencil9` matvec;
+* the memory model behind the paper's capacity claims (a 38 x 38 block
+  fits the 48 KB tile, hence a 22800 x 22800 mesh on a 600 x 600
+  fabric) and the efficiency model behind "when a core holds only an
+  8 x 8 region ... the overhead remains less than 20%".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..problems.stencil9 import OFFSETS_9PT, Stencil9
+
+__all__ = [
+    "block_spmv",
+    "block_memory_words",
+    "max_block_size",
+    "max_mesh_extent",
+    "halo_overhead_fraction",
+    "Block2DModel",
+]
+
+
+def _column_coefficient(op: Stencil9, leg: str) -> np.ndarray:
+    """Column-form coefficient array for one leg.
+
+    ``col[leg][p] = A[p + off, p]``: the contribution point ``p`` makes
+    to the row of its ``off``-neighbour.  In row storage that entry is
+    the *opposite* leg's coefficient evaluated at ``p + off`` (zero when
+    ``p + off`` is outside the mesh).
+    """
+    di, dj = OFFSETS_9PT[leg]
+    opposite = {v: k for k, v in OFFSETS_9PT.items()}[(-di, -dj)]
+    row_c = op.coeffs[opposite]
+    nx, ny = op.shape
+    col = np.zeros(op.shape)
+    src_x = slice(max(di, 0), nx + min(di, 0))
+    dst_x = slice(max(-di, 0), nx + min(-di, 0))
+    src_y = slice(max(dj, 0), ny + min(dj, 0))
+    dst_y = slice(max(-dj, 0), ny + min(-dj, 0))
+    col[dst_x, dst_y] = row_c[src_x, src_y]
+    return col
+
+
+def block_spmv(
+    op: Stencil9,
+    v: np.ndarray,
+    block_shape: tuple[int, int],
+) -> np.ndarray:
+    """SpMV ``u = A v`` via per-block multiply + output-halo exchange.
+
+    The mesh must divide evenly into blocks.  Each block forms all nine
+    products locally with FMAC (column coefficients), accumulating into
+    a ``(b+2) x (b+2)`` padded output; the one-deep output halos are
+    then exchanged ("a round of send and add in one direction, then a
+    round for the other direction", avoiding diagonal communication) and
+    added into the owning blocks.
+
+    Returns the fp64 result; tests assert it matches ``op.apply(v)``.
+    """
+    nx, ny = op.shape
+    bx, by = block_shape
+    if nx % bx or ny % by:
+        raise ValueError(f"mesh {op.shape} does not tile by blocks {block_shape}")
+    px, py = nx // bx, ny // by
+    v = np.asarray(v, dtype=np.float64).reshape(op.shape)
+
+    cols = {leg: _column_coefficient(op, leg) for leg in OFFSETS_9PT}
+
+    # Per-block padded outputs, indexed [bi][bj] -> (bx+2, by+2).
+    outs = [[np.zeros((bx + 2, by + 2)) for _ in range(py)] for _ in range(px)]
+    for bi in range(px):
+        for bj in range(py):
+            vb = v[bi * bx : (bi + 1) * bx, bj * by : (bj + 1) * by]
+            ob = outs[bi][bj]
+            for leg, (di, dj) in OFFSETS_9PT.items():
+                cb = cols[leg][bi * bx : (bi + 1) * bx, bj * by : (bj + 1) * by]
+                ob[1 + di : 1 + di + bx, 1 + dj : 1 + dj + by] += cb * vb
+
+    # Halo exchange, x-direction first then y (matching the paper's two
+    # rounds; the corner products ride along with the x-round so no
+    # diagonal sends are needed).
+    for bi in range(px):
+        for bj in range(py):
+            ob = outs[bi][bj]
+            if bi + 1 < px:
+                outs[bi + 1][bj][1, :] += ob[bx + 1, :]
+            if bi - 1 >= 0:
+                outs[bi - 1][bj][bx, :] += ob[0, :]
+            ob[0, :] = 0.0
+            ob[bx + 1, :] = 0.0
+    for bi in range(px):
+        for bj in range(py):
+            ob = outs[bi][bj]
+            if bj + 1 < py:
+                outs[bi][bj + 1][:, 1] += ob[:, by + 1]
+            if bj - 1 >= 0:
+                outs[bi][bj - 1][:, by] += ob[:, 0]
+            ob[:, 0] = 0.0
+            ob[:, by + 1] = 0.0
+
+    u = np.empty(op.shape)
+    for bi in range(px):
+        for bj in range(py):
+            u[bi * bx : (bi + 1) * bx, bj * by : (bj + 1) * by] = outs[bi][bj][
+                1 : bx + 1, 1 : by + 1
+            ]
+    return u
+
+
+# ----------------------------------------------------------------------
+# Memory and efficiency models (the section IV.2 claims)
+# ----------------------------------------------------------------------
+
+def block_memory_words(
+    b: int,
+    n_matrix_diagonals: int = 9,
+    n_vectors: int = 7,
+    scratch_words: int = 64,
+) -> int:
+    """fp16 words of tile memory for a ``b x b`` block.
+
+    * the matrix: all nine column coefficients per local point
+      (``9 b^2``; the unit diagonal is stored — the paper notes the 2D
+      kernel *does* multiply the main diagonal);
+    * the BiCGStab vector set (x, r, r0, p, s, y, b ~ 7 block-sized
+      vectors);
+    * send + receive halo buffers (one-deep ring, ``2 * 4(b+2)``);
+    * fixed scratch.
+    """
+    if b <= 0:
+        raise ValueError("block size must be positive")
+    return (
+        n_matrix_diagonals * b * b
+        + n_vectors * b * b
+        + 2 * 4 * (b + 2)
+        + scratch_words
+    )
+
+
+def max_block_size(capacity_bytes: int = 48 * 1024, bytes_per_word: int = 2) -> int:
+    """Largest square block fitting tile memory (38 on the CS-1).
+
+    Paper: "local memory in each core is sufficient to store a matrix,
+    halo, and vector ... up-to 38x38 in size".
+    """
+    cap_words = capacity_bytes // bytes_per_word
+    b = 1
+    while block_memory_words(b + 1) <= cap_words:
+        b += 1
+    return b
+
+
+def max_mesh_extent(fabric_extent: int = 600, capacity_bytes: int = 48 * 1024) -> int:
+    """Largest square-mesh edge for a square fabric (22800 for 600).
+
+    Paper: 38 x 38 blocks on the fabric "correspond[] to geometries of
+    22800x22800"."""
+    return max_block_size(capacity_bytes) * fabric_extent
+
+
+def halo_overhead_fraction(b: int, halo_op_cost: float = 2.0) -> float:
+    """Non-credited work as a fraction of credited flops.
+
+    Credited flops per point: 16 (8 off-diagonal FMACs; the main
+    diagonal gets no performance credit since "most problems will
+    precondition the main diagonal to unity").  Overhead: the two
+    diagonal ops per point that are performed but not credited, plus
+    ``halo_op_cost`` operations for each of the ``4b + 4`` output-halo
+    values (send + redundant add on the receiving side).
+
+    Paper claim: under 20% for an 8 x 8 block.
+    """
+    if b <= 0:
+        raise ValueError("block size must be positive")
+    credited = 16.0 * b * b
+    overhead = 2.0 * b * b + halo_op_cost * (4 * b + 4)
+    return overhead / credited
+
+
+@dataclass(frozen=True)
+class Block2DModel:
+    """Bundled 2D-mapping feasibility/efficiency report for one block size."""
+
+    block: int
+    memory_words: int
+    memory_bytes: int
+    fits: bool
+    mesh_extent_600: int
+    overhead: float
+
+    @classmethod
+    def for_block(cls, b: int, capacity_bytes: int = 48 * 1024) -> "Block2DModel":
+        words = block_memory_words(b)
+        return cls(
+            block=b,
+            memory_words=words,
+            memory_bytes=words * 2,
+            fits=words * 2 <= capacity_bytes,
+            mesh_extent_600=b * 600,
+            overhead=halo_overhead_fraction(b),
+        )

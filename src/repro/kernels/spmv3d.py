@@ -1,0 +1,432 @@
+"""The 3D SpMV dataflow program (paper Listing 1 / Fig. 4).
+
+Maps an ``X x Y x Z`` mesh onto an ``X x Y`` tile fabric, each core
+owning the full Z-column at its (x, y).  One SpMV ``u = A v`` per tile
+proceeds exactly as the paper describes:
+
+* the core broadcasts its local Z-vector ``v`` on a single channel that
+  fans out to its four neighbours *and loops back to itself* ("we loop
+  back the outgoing local data and route it in for processing the z
+  dimension, as this saves memory bandwidth");
+* the main thread initializes the result with the first z-shifted leg
+  (a synchronous tensor multiply);
+* five background threads multiply the four neighbour streams and the
+  looped-back stream by the stored matrix diagonals, pushing products
+  into five hardware FIFOs;
+* a sixth thread adds the looped-back stream directly into the result
+  (the unit main diagonal — no multiply, no FIFO);
+* FIFO pushes activate a high-priority ``sumtask`` that drains all FIFOs
+  into the result vector through per-leg accumulator descriptors;
+* a small tree of two-way barriers (``xdone / ydone / cdone / xydone /
+  xycdone``) detects completion of all threads and raises the core's
+  ``spmv_done`` flag (standing in for "activate(bicg)").
+
+Index conventions (the listing's padded arrays, made explicit):
+
+* ``v`` has ``Z+1`` entries with ``v[Z] = 0``; ``u`` has ``Z+2`` entries
+  and the result is ``u[1 .. Z]``.
+* The synchronous leg computes ``u[k] = v[k] * zinitA[k]`` for
+  ``k = 0..Z`` with ``zinitA[k] = c_zp[k-1]``: the coupling of point
+  ``k-1`` to its ``+z`` neighbour, i.e. ``result[j] += c_zp[j] v[j+1]``.
+* The looped-back FIFO leg accumulates ``u[k+2] += zloopA[k] * v[k]``
+  with ``zloopA[k] = c_zm[k+1]``: ``result[j] += c_zm[j] v[j-1]``.
+
+(The listing labels these two legs ``zm``/``zp`` with the opposite
+orientation; the observable contract — the 7-point matvec — is checked
+against the CSR ground truth either way.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..problems.stencil7 import Stencil7
+from ..wse.channels import tile_channel
+from ..wse.config import CS1, MachineConfig
+from ..wse.core import Core
+from ..wse.dsr import Action, Completion, FabricRx, FabricTx, FifoPush, Instruction, MemCursor
+from ..wse.fabric import Fabric, Port
+
+__all__ = ["SpmvEngine", "SpmvProgram", "build_spmv_fabric", "run_spmv_des", "spmv_functional"]
+
+#: (leg, neighbour offset in fabric coords, arrival port at this tile)
+_NEIGHBOUR_LEGS = (
+    ("xp", (1, 0), Port.EAST),
+    ("xm", (-1, 0), Port.WEST),
+    ("yp", (0, 1), Port.NORTH),
+    ("ym", (0, -1), Port.SOUTH),
+)
+
+#: Thread-slot assignment (listing 1's ``.thr`` fields).
+_THREAD = {"xp": 0, "xm": 1, "yp": 2, "ym": 3, "z": 4, "c_tx": 5, "c_add": 6}
+
+#: Completion trigger per leg thread: (task, action).
+_TRIGGERS = {
+    "xp": Completion("xdone", Action.ACTIVATE),
+    "xm": Completion("xdone", Action.UNBLOCK),
+    "yp": Completion("ydone", Action.ACTIVATE),
+    "ym": Completion("ydone", Action.UNBLOCK),
+    "z": Completion("cdone", Action.ACTIVATE),
+    "c_add": Completion("cdone", Action.UNBLOCK),
+}
+
+
+@dataclass
+class SpmvProgram:
+    """Handle to one tile's SpMV program (memory arrays + launch task)."""
+
+    core: Core
+    z: int
+    v: np.ndarray
+    u: np.ndarray
+
+    def result(self) -> np.ndarray:
+        """The local SpMV result (fp16, length Z)."""
+        return self.u[1 : 1 + self.z]
+
+    @property
+    def done(self) -> bool:
+        return bool(self.core.flags.get("spmv_done"))
+
+
+def _build_tile_program(
+    core: Core,
+    fabric: Fabric,
+    op: Stencil7,
+    v_local: np.ndarray,
+    i: int,
+    j: int,
+    fifo_capacity: int,
+    two_sum_tasks: bool = False,
+) -> SpmvProgram:
+    """Construct listing 1 on one core for mesh column (i, j, :)."""
+    nx, ny, nz = op.shape
+    mem = core.memory
+    Z = nz
+
+    if not op.has_unit_diagonal:
+        raise ValueError(
+            "the wafer SpMV kernel requires a unit main diagonal; "
+            "apply jacobi_precondition() first (paper section IV)"
+        )
+
+    # --- Memory allocation (the float16 declarations) -------------------
+    v = mem.alloc("v", Z + 1, np.float16)
+    v[:Z] = v_local.astype(np.float16)
+    v[Z] = np.float16(0.0)
+    u = mem.alloc("u", Z + 2, np.float16)
+    legs = {}
+    for name in ("xp", "xm", "yp", "ym"):
+        arr = mem.alloc(f"{name}_a", Z, np.float16)
+        arr[:] = op.coeffs[name][i, j, :].astype(np.float16)
+        legs[name] = arr
+    zinit = mem.alloc("zinit_a", Z + 1, np.float16)
+    zinit[0] = np.float16(0.0)
+    zinit[1:] = op.coeffs["zp"][i, j, :].astype(np.float16)
+    zloop = mem.alloc("zloop_a", Z, np.float16)
+    zloop[: Z - 1] = op.coeffs["zm"][i, j, 1:].astype(np.float16)
+    zloop[Z - 1] = np.float16(0.0)
+    # FIFO circular-buffer backing store (term[5][20] in the listing).
+    mem.alloc("term", 5 * fifo_capacity, np.float16)
+
+    # --- FIFOs (pushes activate the sum task(s)) -------------------------
+    # "The production code used two distinct summation tasks to improve
+    # performance" (listing 1's commentary): optionally split the five
+    # FIFOs across two tasks so drains interleave at finer grain.
+    task_of = {
+        "xp": "sumtask", "xm": "sumtask", "z": "sumtask",
+        "yp": "sumtask2" if two_sum_tasks else "sumtask",
+        "ym": "sumtask2" if two_sum_tasks else "sumtask",
+    }
+    fifos = {
+        name: core.make_fifo(f"{name}_fifo", fifo_capacity,
+                             activates=task_of[name])
+        for name in ("xp", "xm", "yp", "ym", "z")
+    }
+
+    # --- Routing: broadcast own colour to neighbours + loopback ---------
+    own_ch = tile_channel(i, j)
+    out_ports = [Port.CORE]
+    present = {}
+    for name, (dx, dy), port in _NEIGHBOUR_LEGS:
+        nb = fabric.neighbor(i, j, port)
+        present[name] = nb is not None
+        if nb is not None:
+            out_ports.append(port)
+    fabric.router(i, j).set_route(own_ch, Port.CORE, tuple(out_ports))
+    # Incoming neighbour streams: deliver each to this core.
+    rx_queues = {}
+    for name, (dx, dy), port in _NEIGHBOUR_LEGS:
+        if not present[name]:
+            continue
+        nb_ch = tile_channel(i + dx, j + dy)
+        fabric.router(i, j).set_route(nb_ch, port, (Port.CORE,))
+        rx_queues[name] = (core.subscribe(nb_ch), nb_ch)
+    # Loopback subscriptions: the z-leg thread and the diagonal thread.
+    q_z = core.subscribe(own_ch)
+    q_c = core.subscribe(own_ch)
+
+    # --- Accumulator descriptors (persist across sumtask runs) ----------
+    accs = {
+        "xp": MemCursor(u, 1, Z, name="xp_acc"),
+        "xm": MemCursor(u, 1, Z, name="xm_acc"),
+        "yp": MemCursor(u, 1, Z, name="yp_acc"),
+        "ym": MemCursor(u, 1, Z, name="ym_acc"),
+        "z": MemCursor(u, 2, Z, name="z_acc"),
+    }
+
+    # --- Tasks -----------------------------------------------------------
+    def _drain(names):
+        def body(c: Core) -> None:
+            # Drain the FIFOs into their accumulators; fp16 adds, in
+            # arrival order.
+            for name in names:
+                fifo = fifos[name]
+                acc = accs[name]
+                while not fifo.empty and acc.can_write():
+                    val = fifo.pop()
+                    acc.write(acc.peek() + val)
+        return body
+
+    if two_sum_tasks:
+        core.scheduler.add("sumtask", _drain(("xp", "xm", "z")), priority=1)
+        core.scheduler.add("sumtask2", _drain(("yp", "ym")), priority=1)
+    else:
+        core.scheduler.add(
+            "sumtask", _drain(("xp", "xm", "z", "yp", "ym")), priority=1
+        )
+
+    def _tree(name, *ops_):
+        def body(c: Core, _ops=ops_) -> None:
+            for action, target in _ops:
+                c.scheduler.apply(target, action)
+        core.scheduler.add(name, body, blocked=True)
+
+    _tree("xdone", (Action.BLOCK, "xdone"), (Action.UNBLOCK, "xydone"))
+    _tree("ydone", (Action.BLOCK, "ydone"), (Action.ACTIVATE, "xydone"))
+    _tree("xydone", (Action.BLOCK, "xydone"), (Action.UNBLOCK, "xycdone"))
+    _tree("cdone", (Action.BLOCK, "cdone"), (Action.ACTIVATE, "xycdone"))
+    _tree("xycdone", (Action.BLOCK, "xycdone"), (Action.ACTIVATE, "spmv_exit"))
+
+    def spmv_exit(c: Core) -> None:
+        c.flags["spmv_done"] = True
+
+    core.scheduler.add("spmv_exit", spmv_exit)
+
+    def launch_threads(c: Core) -> None:
+        # The five FIFO-writing threads plus the diagonal add, launched
+        # after the synchronous z-leg completes (listing order).
+        for name in ("xp", "xm", "yp", "ym"):
+            if not present[name]:
+                # A missing neighbour behaves as an instantly-complete,
+                # zero-length stream: fire its trigger now.
+                trig = _TRIGGERS[name]
+                c.scheduler.apply(trig.task, trig.action)
+                continue
+            q, ch = rx_queues[name]
+            instr = Instruction(
+                op="mul",
+                dst=FifoPush(fifos[name], Z, name=f"{name}_fifo_push"),
+                srcs=[
+                    FabricRx(q, Z, ch, name=f"{name}_rx"),
+                    MemCursor(legs[name], 0, Z, name=f"{name}_a"),
+                ],
+                length=Z,
+                completions=[_TRIGGERS[name]],
+                name=f"{name}_thread",
+            )
+            c.launch(instr, thread=_THREAD[name])
+        c.launch(
+            Instruction(
+                op="mul",
+                dst=FifoPush(fifos["z"], Z, name="z_fifo_push"),
+                srcs=[
+                    FabricRx(q_z, Z, own_ch, name="z_rx"),
+                    MemCursor(zloop, 0, Z, name="zloop_a"),
+                ],
+                length=Z,
+                completions=[_TRIGGERS["z"]],
+                name="z_thread",
+            ),
+            thread=_THREAD["z"],
+        )
+        c.launch(
+            Instruction(
+                op="addin",
+                dst=MemCursor(u, 1, Z, name="c_acc"),
+                srcs=[FabricRx(q_c, Z, own_ch, name="c_rx")],
+                length=Z,
+                completions=[_TRIGGERS["c_add"]],
+                name="c_add_thread",
+            ),
+            thread=_THREAD["c_add"],
+        )
+
+    core.scheduler.add("launch_rest", launch_threads)
+
+    def spmv_task(c: Core) -> None:
+        # Re-runnable: rewind the persistent accumulator descriptors
+        # (they track progress across sum-task invocations within one
+        # SpMV and must restart for the next).
+        for acc in accs.values():
+            acc.reset()
+        # c_tx[] = v1[] : broadcast the local vector (background thread).
+        c.launch(
+            Instruction(
+                op="copy",
+                dst=FabricTx(c, Z, own_ch, name="c_tx"),
+                srcs=[MemCursor(v, 0, Z, name="v1")],
+                length=Z,
+                name="c_tx_thread",
+            ),
+            thread=_THREAD["c_tx"],
+        )
+        # zm_acc[] = v0[] * zm_a[] : synchronous main-thread multiply that
+        # initializes the result; its completion launches the rest.
+        c.launch(
+            Instruction(
+                op="mul",
+                dst=MemCursor(u, 0, Z + 1, name="zinit_acc"),
+                srcs=[
+                    MemCursor(v, 0, Z + 1, name="v0"),
+                    MemCursor(zinit, 0, Z + 1, name="zinit_a"),
+                ],
+                length=Z + 1,
+                completions=[Completion("launch_rest", Action.ACTIVATE)],
+                name="zinit_thread",
+            ),
+            thread=None,
+        )
+
+    core.scheduler.add("spmv", spmv_task)
+    core.scheduler.activate("spmv")
+    return SpmvProgram(core=core, z=Z, v=v, u=u)
+
+
+def build_spmv_fabric(
+    op: Stencil7,
+    v: np.ndarray,
+    config: MachineConfig = CS1,
+    fifo_capacity: int = 20,
+    two_sum_tasks: bool = False,
+) -> tuple[Fabric, list[list[SpmvProgram]]]:
+    """Construct the full fabric running one SpMV over the mesh.
+
+    The mesh's X and Y extents map to the fabric axes; Z stays local
+    (Fig. 3).  Returns the fabric (ready to ``run``) and the per-tile
+    program handles indexed ``programs[j][i]``.
+    """
+    nx, ny, nz = op.shape
+    op.validate()
+    v = np.asarray(v, dtype=np.float16).reshape(op.shape)
+    fabric = Fabric(nx, ny)
+    programs: list[list[SpmvProgram]] = [[None] * nx for _ in range(ny)]  # type: ignore[list-item]
+    for j in range(ny):
+        for i in range(nx):
+            core = Core(i, j, config)
+            fabric.attach_core(i, j, core)
+            programs[j][i] = _build_tile_program(
+                core, fabric, op, v[i, j, :], i, j, fifo_capacity,
+                two_sum_tasks,
+            )
+    return fabric, programs
+
+
+class SpmvEngine:
+    """A persistent SpMV program: build the fabric once, run many times.
+
+    The hardware analogue: the routing tables and task code are loaded
+    once at program start and the SpMV task is re-activated per solver
+    iteration.  ``run`` updates the local iterate vectors, re-activates
+    every tile's ``spmv`` task, and returns the new result.
+    """
+
+    def __init__(
+        self,
+        op: Stencil7,
+        config: MachineConfig = CS1,
+        fifo_capacity: int = 20,
+    ):
+        self.op = op
+        self.fabric, self.programs = build_spmv_fabric(
+            op, np.zeros(op.shape), config, fifo_capacity
+        )
+        self.runs = 0
+        # The build activates each tile's spmv task for a first run over
+        # the zero vector; consume it so run() starts clean.
+        self._execute()
+
+    def _execute(self) -> int:
+        nx, ny, nz = self.op.shape
+        start = self.fabric.cycle
+
+        def finished(f: Fabric) -> bool:
+            return all(
+                self.programs[j][i].done for j in range(ny) for i in range(nx)
+            ) and f.quiescent()
+
+        self.fabric.run(max_cycles=200_000 + start, until=finished)
+        return self.fabric.cycle - start
+
+    def run(self, v: np.ndarray) -> tuple[np.ndarray, int]:
+        """One SpMV over the persistent program; returns ``(u, cycles)``."""
+        nx, ny, nz = self.op.shape
+        v16 = np.asarray(v, dtype=np.float16).reshape(self.op.shape)
+        for j in range(ny):
+            for i in range(nx):
+                prog = self.programs[j][i]
+                prog.v[:nz] = v16[i, j, :]
+                prog.v[nz] = np.float16(0.0)
+                prog.core.flags["spmv_done"] = False
+                prog.core.scheduler.activate("spmv")
+        cycles = self._execute()
+        self.runs += 1
+        u = np.empty(self.op.shape, dtype=np.float64)
+        for j in range(ny):
+            for i in range(nx):
+                u[i, j, :] = self.programs[j][i].result().astype(np.float64)
+        return u, cycles
+
+
+def run_spmv_des(
+    op: Stencil7,
+    v: np.ndarray,
+    config: MachineConfig = CS1,
+    fifo_capacity: int = 20,
+    max_cycles: int = 200_000,
+    two_sum_tasks: bool = False,
+) -> tuple[np.ndarray, int]:
+    """Run the discrete simulation of one SpMV; returns ``(u, cycles)``.
+
+    ``u`` is fp16-valued (returned as float64 for convenience) and equals
+    the fp16-arithmetic 7-point matvec; the cycle count is the fabric
+    cycle at which every tile's completion tree fired and the fabric
+    drained.
+    """
+    fabric, programs = build_spmv_fabric(op, v, config, fifo_capacity,
+                                         two_sum_tasks)
+    nx, ny, nz = op.shape
+
+    def finished(f: Fabric) -> bool:
+        return all(
+            programs[j][i].done for j in range(ny) for i in range(nx)
+        ) and f.quiescent()
+
+    cycles = fabric.run(max_cycles=max_cycles, until=finished)
+    u = np.empty(op.shape, dtype=np.float64)
+    for j in range(ny):
+        for i in range(nx):
+            u[i, j, :] = programs[j][i].result().astype(np.float64)
+    return u, cycles
+
+
+def spmv_functional(op: Stencil7, v: np.ndarray, precision="mixed") -> np.ndarray:
+    """The vectorized functional equivalent of the wafer SpMV.
+
+    Same arithmetic class (fp16 products, fp16 leg-by-leg accumulation
+    under mixed/half precision); used by the functional wafer solver and
+    cross-checked against :func:`run_spmv_des` in the tests.
+    """
+    return op.apply(v, precision=precision)

@@ -1,0 +1,87 @@
+"""Analytic performance models reproducing the paper's quantitative claims.
+
+* :mod:`~repro.perfmodel.wafer` — CS-1 BiCGStab: 28.1 us/iteration,
+  0.86 PFLOPS, ~1/3 of peak, mesh-shape sweeps (section V).
+* :mod:`~repro.perfmodel.opcounts` — Table I operation counts.
+* :mod:`~repro.perfmodel.cluster` — Joule 2.0 strong scaling (Figs 7-8),
+  the ~214x comparison.
+* :mod:`~repro.perfmodel.simple_cycles` — Table II SIMPLE phase costs
+  and the 80-125 timesteps/s CFD projection (section VI.A).
+* :mod:`~repro.perfmodel.balance` — Fig. 1 machine-balance data.
+"""
+
+from .wafer import HEADLINE_MESH, IterationBreakdown, WaferPerfModel
+from .opcounts import OpRow, derive_counts, measured_counts, table1
+from .cluster import JOULE, ClusterModel, JouleSpec
+from .simple_cycles import SimpleCostModel, SimplePhase, table2
+from .balance import BalanceEntry, balance_table, cs1_balance
+from .roofline import (
+    RooflineMachine,
+    attainable_fraction,
+    bicgstab_intensity,
+    cs1_core_roofline,
+    roofline_table,
+    xeon_socket_roofline,
+)
+from .multiwafer import MultiWaferModel, MultiWaferPoint
+from .energy import EnergyComparison, EnergyModel
+from .time_to_solution import SolveCostEstimate, TimeToSolution
+from .roofline import gpu_roofline
+from .validation import (
+    AllreduceValidationPoint,
+    ModelValidator,
+    SpmvValidationPoint,
+)
+from .capacity import (
+    APPLICATIONS,
+    ROADMAP,
+    Application,
+    ApplicationAssessment,
+    TechNode,
+    assess_application,
+    max_cube_edge,
+    max_meshpoints,
+)
+
+__all__ = [
+    "HEADLINE_MESH",
+    "IterationBreakdown",
+    "WaferPerfModel",
+    "OpRow",
+    "derive_counts",
+    "measured_counts",
+    "table1",
+    "JOULE",
+    "ClusterModel",
+    "JouleSpec",
+    "SimpleCostModel",
+    "SimplePhase",
+    "table2",
+    "BalanceEntry",
+    "balance_table",
+    "cs1_balance",
+    "APPLICATIONS",
+    "ROADMAP",
+    "Application",
+    "ApplicationAssessment",
+    "TechNode",
+    "assess_application",
+    "max_cube_edge",
+    "max_meshpoints",
+    "RooflineMachine",
+    "attainable_fraction",
+    "bicgstab_intensity",
+    "cs1_core_roofline",
+    "roofline_table",
+    "xeon_socket_roofline",
+    "MultiWaferModel",
+    "MultiWaferPoint",
+    "EnergyComparison",
+    "EnergyModel",
+    "AllreduceValidationPoint",
+    "ModelValidator",
+    "SpmvValidationPoint",
+    "SolveCostEstimate",
+    "TimeToSolution",
+    "gpu_roofline",
+]

@@ -1,0 +1,84 @@
+"""Machine-balance data: flops per word of memory/interconnect (Fig. 1).
+
+Fig. 1 (after McCalpin's SC16 talk, with the CS-1 point added by the
+paper's authors) plots the growing gulf between compute throughput and
+data-motion capability: by 2016 "the flops to words ratios for both
+memory and interconnect bandwidth were in the hundreds, and the flops
+needed to cover the memory or network latencies were in the 10,000 to
+100,000 range".
+
+The original per-system values are not tabulated in the paper; this
+module reconstructs a representative series (documented, approximate,
+8-byte words) whose *shape* — ratios in the hundreds for modern CPU
+systems, order unity for the CS-1 — is what Fig. 1 conveys.  The CS-1
+entries are computed from the paper's machine description rather than
+guessed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..wse.config import CS1, MachineConfig
+
+__all__ = ["BalanceEntry", "cs1_balance", "balance_table"]
+
+WORD_BYTES = 8  # McCalpin's plots use 64-bit words
+
+
+@dataclass(frozen=True)
+class BalanceEntry:
+    """One machine's balance ratios (flops per 8-byte word, flops per
+    latency)."""
+
+    system: str
+    year: int
+    flops_per_word_memory: float
+    flops_per_word_interconnect: float
+    flops_to_cover_memory_latency: float
+    flops_to_cover_network_latency: float
+
+
+def cs1_balance(config: MachineConfig = CS1) -> BalanceEntry:
+    """The CS-1's balance point, derived from the paper's constants.
+
+    Memory: 16 B read + 8 B write per core per cycle against 8 fp16
+    flops per core per cycle — "three bytes to and from memory for every
+    flop", i.e. ~2.7 flops per 8-byte word.  Interconnect: 16 B/cycle
+    injection — 4 flops per word.  Latencies: single-cycle memory, one
+    cycle per hop.
+    """
+    flops_per_cycle = config.peak_fp16_flops_per_cycle
+    mem_bytes_per_cycle = (
+        config.memory_read_bytes_per_cycle + config.memory_write_bytes_per_cycle
+    )
+    net_bytes_per_cycle = config.fabric_injection_bytes_per_cycle
+    return BalanceEntry(
+        system="Cerebras CS-1",
+        year=2020,
+        flops_per_word_memory=flops_per_cycle / (mem_bytes_per_cycle / WORD_BYTES),
+        flops_per_word_interconnect=flops_per_cycle / (net_bytes_per_cycle / WORD_BYTES),
+        flops_to_cover_memory_latency=flops_per_cycle * config.memory_latency_cycles,
+        flops_to_cover_network_latency=flops_per_cycle * config.hop_latency_cycles,
+    )
+
+
+def balance_table(config: MachineConfig = CS1) -> list[BalanceEntry]:
+    """Representative balance history plus the CS-1 point.
+
+    Values for conventional systems are order-of-magnitude
+    reconstructions from public peak-flops / STREAM / interconnect specs
+    of characteristic machines of each era (the trend McCalpin's talk
+    documents); they are intentionally coarse — Fig. 1's story is the
+    orders of magnitude, not the third digit.
+    """
+    history = [
+        BalanceEntry("Vector supercomputer (Cray Y-MP era)", 1990, 1.0, 4.0, 30, 200),
+        BalanceEntry("RISC workstation cluster", 1995, 6.0, 30.0, 300, 3_000),
+        BalanceEntry("Commodity Linux cluster", 2000, 15.0, 80.0, 1_000, 10_000),
+        BalanceEntry("Multicore x86 cluster", 2005, 30.0, 150.0, 3_000, 30_000),
+        BalanceEntry("Nehalem/Westmere cluster", 2010, 60.0, 300.0, 8_000, 60_000),
+        BalanceEntry("Haswell/Broadwell cluster", 2014, 90.0, 500.0, 15_000, 80_000),
+        BalanceEntry("Skylake-SP cluster (Xeon 6148)", 2017, 130.0, 700.0, 25_000, 100_000),
+    ]
+    return history + [cs1_balance(config)]

@@ -1,0 +1,139 @@
+"""Multi-wafer clustering model (paper section VIII.B's closing note).
+
+"Solutions involving the clustering, with sufficient bandwidth, of
+several wafer-scale systems is certainly a possibility."  This module
+models the obvious construction: N wafers in a chain, the mesh's Y
+extent sliced across them, each inter-wafer boundary exchanging one
+X x Z face of fp16 halo data per SpMV over an external link.
+
+Scheduling assumption: boundary-first.  Each wafer computes its
+boundary rows first and overlaps the halo transfer with the interior
+compute (the standard domain-decomposition trick), so only the halo
+time *exceeding* one iteration's compute shows up as overhead; the four
+AllReduces each pay one extra link-latency hop per boundary (the chain
+extends the Fig. 6 tree).
+
+The model answers the discussion's two questions: clustering buys
+capacity linearly, and "sufficient bandwidth" is quantifiable — the
+link rate at which the halo hides completely behind compute
+(:meth:`MultiWaferModel.sufficient_bandwidth`, ~hundreds of GB/s for
+the headline slab shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .wafer import STORAGE_WORDS_PER_POINT, WaferPerfModel
+
+__all__ = ["MultiWaferModel", "MultiWaferPoint"]
+
+
+@dataclass(frozen=True)
+class MultiWaferPoint:
+    """One configuration's predicted behaviour."""
+
+    wafers: int
+    mesh: tuple[int, int, int]
+    iteration_seconds: float
+    single_wafer_equivalent_seconds: float
+    interwafer_seconds: float
+    efficiency: float
+    total_meshpoints: int
+
+
+@dataclass
+class MultiWaferModel:
+    """A chain of wafers with parameterized external links.
+
+    Parameters
+    ----------
+    wafer:
+        The per-wafer performance model.
+    link_bandwidth:
+        Usable inter-wafer bandwidth per boundary, bytes/s (default
+        300 GB/s — a multi-lane optical aggregate, chosen near the
+        "sufficient" threshold for the headline slab; sweep it to see
+        the insufficient-bandwidth regime).
+    link_latency:
+        Per-hop latency across a boundary, seconds.
+    """
+
+    wafer: WaferPerfModel = field(default_factory=WaferPerfModel)
+    link_bandwidth: float = 300e9
+    link_latency: float = 200e-9
+
+    def capacity_meshpoints(self, wafers: int) -> int:
+        """Aggregate capacity at the solver's 10 fp16 words per point."""
+        if wafers < 1:
+            raise ValueError("need at least one wafer")
+        per_tile = self.wafer.config.memory_per_tile // (
+            2 * STORAGE_WORDS_PER_POINT
+        )
+        g = self.wafer.config.geometry
+        return wafers * g.fabric_width * g.fabric_height * per_tile
+
+    def halo_seconds(self, mesh: tuple[int, int, int]) -> float:
+        """Raw per-boundary halo transfer time per iteration.
+
+        Two SpMVs, each exchanging one X x Z fp16 face in both
+        directions across the boundary.
+        """
+        nx, _, nz = mesh
+        face_bytes = nx * nz * 2
+        return 2 * 2 * face_bytes / self.link_bandwidth
+
+    def collective_penalty(self) -> float:
+        """Extra AllReduce cost per iteration from the chain hops."""
+        return 4 * 2 * self.link_latency
+
+    def point(self, wafers: int, y_per_wafer: int,
+              mesh_xz: tuple[int, int] = (600, 1536)) -> MultiWaferPoint:
+        """Evaluate an N-wafer run on an X x (N*y_per_wafer) x Z mesh."""
+        nx, nz = mesh_xz
+        g = self.wafer.config.geometry
+        if y_per_wafer > g.fabric_height:
+            raise ValueError(
+                f"y_per_wafer={y_per_wafer} exceeds the fabric height "
+                f"{g.fabric_height}"
+            )
+        slab = (nx, y_per_wafer, nz)
+        base = self.wafer.iteration_time(slab)
+        if wafers > 1:
+            exposed_halo = max(0.0, self.halo_seconds(slab) - base)
+            extra = exposed_halo + self.collective_penalty()
+        else:
+            extra = 0.0
+        total = base + extra
+        mesh = (nx, wafers * y_per_wafer, nz)
+        return MultiWaferPoint(
+            wafers=wafers,
+            mesh=mesh,
+            iteration_seconds=total,
+            single_wafer_equivalent_seconds=base,
+            interwafer_seconds=extra,
+            efficiency=base / total,
+            total_meshpoints=nx * wafers * y_per_wafer * nz,
+        )
+
+    def scaling_curve(
+        self,
+        max_wafers: int = 8,
+        y_per_wafer: int = 595,
+        mesh_xz: tuple[int, int] = (600, 1536),
+    ) -> list[MultiWaferPoint]:
+        """Weak-scaling curve: N wafers, N-times-larger mesh."""
+        return [self.point(n, y_per_wafer, mesh_xz)
+                for n in range(1, max_wafers + 1)]
+
+    def sufficient_bandwidth(
+        self,
+        mesh_xz: tuple[int, int] = (600, 1536),
+        y_per_wafer: int = 595,
+    ) -> float:
+        """Link bandwidth at which the halo fully hides behind compute —
+        the quantitative reading of "with sufficient bandwidth"."""
+        nx, nz = mesh_xz
+        base = self.wafer.iteration_time((nx, y_per_wafer, nz))
+        face_bytes = nx * nz * 2
+        return 4 * face_bytes / base

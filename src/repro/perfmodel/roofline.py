@@ -1,0 +1,131 @@
+"""Roofline analysis: why stencil solvers get ~1% on CPUs and ~1/3 here.
+
+The paper's introduction is a balance argument: "Solvers of partial
+differential equations ... have low [arithmetic] intensity ...
+Performance for them on CPU or GPU based systems suffers due to
+insufficient bandwidths."  This module makes the argument quantitative
+with the standard roofline model:
+
+* BiCGStab touches ~44 words per meshpoint per iteration for its 44
+  flops (Table I), so its arithmetic intensity is ~1 flop per word —
+  0.125 flop/byte at fp64, 0.5 flop/byte at fp16;
+* a Xeon 6148 socket's ridge point sits near 12 flop/byte, so the
+  solver is deep in the bandwidth-bound region at ~1% of peak;
+* a CS-1 core's ridge point is 0.33 flop/byte — the fp16 solver sits
+  *past* the ridge, on the compute-bound plateau, which is what makes
+  one third of peak reachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..precision import Precision, spec_for
+from ..wse.config import CS1, MachineConfig
+from .cluster import JOULE, JouleSpec
+
+__all__ = [
+    "RooflineMachine",
+    "bicgstab_intensity",
+    "attainable_fraction",
+    "cs1_core_roofline",
+    "xeon_socket_roofline",
+    "roofline_table",
+]
+
+#: Flops and memory words touched per meshpoint per BiCGStab iteration
+#: (Table I: the kernels stream roughly one word per flop).
+FLOPS_PER_POINT = 44
+WORDS_PER_POINT = 44
+
+
+@dataclass(frozen=True)
+class RooflineMachine:
+    """One roofline: a peak compute rate and a memory bandwidth."""
+
+    name: str
+    peak_flops: float       # flop/s for the unit considered
+    mem_bandwidth: float    # bytes/s for the same unit
+
+    @property
+    def ridge_point(self) -> float:
+        """Intensity (flop/byte) where compute and bandwidth balance."""
+        return self.peak_flops / self.mem_bandwidth
+
+    def attainable(self, intensity: float) -> float:
+        """Attainable flop/s at an arithmetic intensity (flop/byte)."""
+        if intensity <= 0:
+            raise ValueError("intensity must be positive")
+        return min(self.peak_flops, intensity * self.mem_bandwidth)
+
+    def fraction_of_peak(self, intensity: float) -> float:
+        return self.attainable(intensity) / self.peak_flops
+
+    def bandwidth_bound(self, intensity: float) -> bool:
+        return intensity < self.ridge_point
+
+
+def bicgstab_intensity(precision: Precision | str) -> float:
+    """BiCGStab arithmetic intensity, flop/byte, at a storage precision."""
+    spec = spec_for(precision)
+    return FLOPS_PER_POINT / (WORDS_PER_POINT * spec.bytes_per_word)
+
+
+def cs1_core_roofline(config: MachineConfig = CS1) -> RooflineMachine:
+    """One CS-1 core: 8 fp16 flop/cycle against 24 B/cycle of SRAM."""
+    return RooflineMachine(
+        name="CS-1 core (fp16)",
+        peak_flops=config.peak_fp16_flops_per_cycle * config.clock_hz,
+        mem_bandwidth=(
+            config.memory_read_bytes_per_cycle
+            + config.memory_write_bytes_per_cycle
+        )
+        * config.clock_hz,
+    )
+
+
+def xeon_socket_roofline(spec: JouleSpec = JOULE) -> RooflineMachine:
+    """One Xeon 6148 socket: 20 cores of AVX-512 against 6-channel DDR4."""
+    return RooflineMachine(
+        name="Xeon 6148 socket (fp64)",
+        peak_flops=20 * spec.flops_per_core_peak,
+        mem_bandwidth=spec.mem_bw_per_socket,
+    )
+
+
+def gpu_roofline() -> RooflineMachine:
+    """A V100-class GPU (the paper-era datapoint for 'CPU or GPU based
+    systems'): 7.8 TF fp64 against 900 GB/s of HBM2."""
+    return RooflineMachine(
+        name="V100 GPU (fp64)",
+        peak_flops=7.8e12,
+        mem_bandwidth=900e9,
+    )
+
+
+def attainable_fraction(
+    machine: RooflineMachine, precision: Precision | str
+) -> float:
+    """Roofline-attainable fraction of peak for BiCGStab."""
+    return machine.fraction_of_peak(bicgstab_intensity(precision))
+
+
+def roofline_table() -> list[dict]:
+    """The machines' rooflines against the solver's intensity."""
+    rows = []
+    for machine, precision in (
+        (xeon_socket_roofline(), Precision.DOUBLE),
+        (gpu_roofline(), Precision.DOUBLE),
+        (cs1_core_roofline(), Precision.MIXED),
+    ):
+        ai = bicgstab_intensity(precision)
+        rows.append(
+            {
+                "machine": machine.name,
+                "ridge_flop_per_byte": machine.ridge_point,
+                "solver_intensity": ai,
+                "bound": "bandwidth" if machine.bandwidth_bound(ai) else "compute",
+                "attainable_fraction": machine.fraction_of_peak(ai),
+            }
+        )
+    return rows

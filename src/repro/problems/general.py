@@ -1,0 +1,233 @@
+"""General N-point stencil operators (arbitrary offset sets).
+
+The paper's kernels are specialized to 7-point (3D) and 9-point (2D)
+stencils, but the mapping idea — one coefficient array per nonzero
+diagonal, vectors distributed with the mesh — applies to any fixed
+stencil.  :class:`StencilOperator` provides that generality for library
+users (e.g. 27-point trilinear FE stencils, 13-point fourth-order
+stencils), with the same diagonal storage, CSR export, Jacobi
+preconditioning, and precision-aware apply as the specialized classes.
+
+The memory/feasibility consequences of wider stencils on the wafer are
+what :func:`wafer_words_per_point` quantifies: a 27-point operator
+needs 26 stored diagonals + the vector set, which caps Z at a third of
+the 7-point mapping's — the capacity trade the paper's section VIII
+discussion implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..precision import Precision, spec_for
+
+__all__ = [
+    "StencilOperator",
+    "laplacian27",
+    "wafer_words_per_point",
+    "max_z_for_stencil",
+]
+
+
+def _slices_for(offset: tuple[int, ...]):
+    dst, src = [], []
+    for d in offset:
+        if d == 0:
+            dst.append(slice(None))
+            src.append(slice(None))
+        elif d > 0:
+            dst.append(slice(None, -d))
+            src.append(slice(d, None))
+        else:
+            dst.append(slice(-d, None))
+            src.append(slice(None, d))
+    return tuple(dst), tuple(src)
+
+
+@dataclass
+class StencilOperator:
+    """A linear operator with one coefficient array per stencil offset.
+
+    Parameters
+    ----------
+    coeffs:
+        Mapping ``offset tuple -> array`` of the mesh shape.  The zero
+        offset is the main diagonal (defaults to ones when absent).
+    """
+
+    coeffs: dict[tuple[int, ...], np.ndarray]
+    shape: tuple[int, ...] = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.coeffs:
+            raise ValueError("StencilOperator requires at least one offset")
+        first = next(iter(self.coeffs.values()))
+        if self.shape is None:
+            self.shape = tuple(first.shape)  # type: ignore[assignment]
+        ndim = len(self.shape)
+        clean: dict[tuple[int, ...], np.ndarray] = {}
+        for off, arr in self.coeffs.items():
+            off = tuple(int(d) for d in off)
+            if len(off) != ndim:
+                raise ValueError(
+                    f"offset {off} has {len(off)} axes; mesh has {ndim}"
+                )
+            a = np.asarray(arr, dtype=np.float64)
+            if a.shape != self.shape:
+                raise ValueError(
+                    f"coefficient for offset {off} has shape {a.shape}, "
+                    f"expected {self.shape}"
+                )
+            clean[off] = a
+        zero = (0,) * ndim
+        if zero not in clean:
+            clean[zero] = np.ones(self.shape)
+        self.coeffs = clean
+        self._unit_diag = bool(np.all(clean[zero] == 1.0))
+        self._zero = zero
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def n_points(self) -> int:
+        """Stencil width: the number of offsets (including the diagonal)."""
+        return len(self.coeffs)
+
+    @property
+    def has_unit_diagonal(self) -> bool:
+        return self._unit_diag
+
+    def validate(self) -> None:
+        """Check no leg couples across the mesh boundary."""
+        for off, c in self.coeffs.items():
+            if off == self._zero:
+                continue
+            dst, src = _slices_for(off)
+            mask = np.ones(self.shape, dtype=bool)
+            mask[dst] = False
+            if np.any(c[mask] != 0.0):
+                raise ValueError(
+                    f"offset {off} couples across the mesh boundary"
+                )
+
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        v: np.ndarray,
+        precision: Precision | str = Precision.DOUBLE,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Matvec with the same precision semantics as Stencil7."""
+        spec = spec_for(precision)
+        dt = spec.elementwise
+        flat = v.ndim == 1
+        vv = v.reshape(self.shape).astype(dt, copy=False)
+        u = np.empty(self.shape, dtype=dt) if out is None else out.reshape(self.shape)
+        diag = self.coeffs[self._zero]
+        if self._unit_diag:
+            u[...] = vv
+        else:
+            np.multiply(diag.astype(dt, copy=False), vv, out=u)
+        for off, c in self.coeffs.items():
+            if off == self._zero or not np.any(c):
+                continue
+            dst, src = _slices_for(off)
+            u[dst] += c[dst].astype(dt, copy=False) * vv[src]
+        return u.ravel() if flat else u
+
+    def __matmul__(self, v: np.ndarray) -> np.ndarray:
+        return self.apply(v)
+
+    def to_csr(self) -> sp.csr_matrix:
+        idx = np.arange(self.n).reshape(self.shape)
+        rows, cols, vals = [], [], []
+        for off, c in self.coeffs.items():
+            dst, src = _slices_for(off)
+            r = idx[dst].ravel()
+            cc = idx[src].ravel()
+            vv = c[dst].ravel()
+            mask = (vv != 0.0) | (off == self._zero)
+            rows.append(r[mask])
+            cols.append(cc[mask])
+            vals.append(vv[mask])
+        return sp.csr_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(self.n, self.n),
+        )
+
+    def jacobi_precondition(self, b: np.ndarray | None = None):
+        diag = self.coeffs[self._zero]
+        if np.any(diag == 0.0):
+            raise ZeroDivisionError("zero on the main diagonal")
+        dinv = 1.0 / diag
+        new = {
+            off: (np.ones_like(diag) if off == self._zero else c * dinv)
+            for off, c in self.coeffs.items()
+        }
+        bp = None if b is None else np.asarray(b, np.float64).reshape(self.shape) * dinv
+        return StencilOperator(new, shape=self.shape), bp, dinv
+
+
+def laplacian27(shape: tuple[int, int, int], spacing: float = 1.0) -> StencilOperator:
+    """The 27-point (trilinear finite-element) negative Laplacian.
+
+    The HPCG benchmark's operator — the workload class the paper's
+    introduction frames the whole problem with.  Weights follow the
+    standard FE stencil: face neighbours get 0, edge -1/(6h^2)... we
+    use the common 27-point discrete Laplacian with weights by
+    neighbour class (face 1, edge 1/2, corner 1/3 — normalized so rows
+    sum to zero in the interior), SPD after boundary elimination.
+    """
+    h2 = float(spacing) ** 2
+    coeffs: dict[tuple[int, int, int], np.ndarray] = {}
+    total = 0.0
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            for dk in (-1, 0, 1):
+                if di == dj == dk == 0:
+                    continue
+                cls = abs(di) + abs(dj) + abs(dk)
+                w = {1: 1.0, 2: 0.5, 3: 1.0 / 3.0}[cls] / h2
+                c = np.full(shape, -w)
+                # zero boundary faces for this offset
+                for axis, d in enumerate((di, dj, dk)):
+                    sl = [slice(None)] * 3
+                    if d > 0:
+                        sl[axis] = slice(-1, None)
+                        c[tuple(sl)] = 0.0
+                    elif d < 0:
+                        sl[axis] = slice(0, 1)
+                        c[tuple(sl)] = 0.0
+                coeffs[(di, dj, dk)] = c
+                total += w
+    coeffs[(0, 0, 0)] = np.full(shape, total)
+    op = StencilOperator(coeffs, shape=shape)
+    op.validate()
+    return op
+
+
+def wafer_words_per_point(n_stencil_points: int, n_vectors: int = 4) -> int:
+    """Tile-memory words per meshpoint for a general stencil mapping.
+
+    The 7-point mapping stores 6 off-diagonals + 4 vectors = 10 words
+    (paper section IV); a stencil with ``n`` points stores ``n - 1``
+    off-diagonals (unit diagonal assumed) plus the vector set.
+    """
+    if n_stencil_points < 1:
+        raise ValueError("a stencil has at least one point")
+    return (n_stencil_points - 1) + n_vectors
+
+
+def max_z_for_stencil(
+    n_stencil_points: int, capacity_bytes: int = 48 * 1024,
+    bytes_per_word: int = 2, n_vectors: int = 4,
+) -> int:
+    """Largest Z-column per tile for a given stencil width."""
+    wpp = wafer_words_per_point(n_stencil_points, n_vectors)
+    return capacity_bytes // (bytes_per_word * wpp)

@@ -1,0 +1,93 @@
+"""Poisson-equation systems (symmetric 7-point stencil).
+
+The canonical low-arithmetic-intensity PDE workload: ``-laplacian(u) = f``
+on a box with Dirichlet boundaries, discretized with the standard 7-point
+second-order finite-difference stencil.  Symmetric positive definite, so
+it also serves the CG baseline and the HPCG framing of the paper's
+introduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .stencil7 import Stencil7
+from .system import LinearSystem
+
+__all__ = ["poisson7", "poisson_system"]
+
+
+def poisson7(
+    shape: tuple[int, int, int],
+    spacing: float | tuple[float, float, float] = 1.0,
+) -> Stencil7:
+    """The 7-point negative-Laplacian operator with Dirichlet boundaries.
+
+    Row for interior point ``(i, j, k)``::
+
+        (2/hx^2 + 2/hy^2 + 2/hz^2) u_ijk - u_neighbours / h^2 = f_ijk
+
+    Dirichlet boundaries are eliminated: boundary-leg coefficients are
+    zero and the diagonal keeps the full ``2/h^2`` contribution, which
+    keeps the operator SPD.
+    """
+    if isinstance(spacing, (int, float)):
+        hx = hy = hz = float(spacing)
+    else:
+        hx, hy, hz = map(float, spacing)
+    nx, ny, nz = shape
+    cx, cy, cz = 1.0 / hx**2, 1.0 / hy**2, 1.0 / hz**2
+    diag = np.full(shape, 2.0 * (cx + cy + cz))
+    coeffs = {
+        "diag": diag,
+        "xp": np.full(shape, -cx),
+        "xm": np.full(shape, -cx),
+        "yp": np.full(shape, -cy),
+        "ym": np.full(shape, -cy),
+        "zp": np.full(shape, -cz),
+        "zm": np.full(shape, -cz),
+    }
+    coeffs["xp"][-1, :, :] = 0.0
+    coeffs["xm"][0, :, :] = 0.0
+    coeffs["yp"][:, -1, :] = 0.0
+    coeffs["ym"][:, 0, :] = 0.0
+    coeffs["zp"][:, :, -1] = 0.0
+    coeffs["zm"][:, :, 0] = 0.0
+    op = Stencil7(coeffs, shape=shape)
+    op.validate()
+    return op
+
+
+def poisson_system(
+    shape: tuple[int, int, int],
+    spacing: float = 1.0,
+    source: str = "sine",
+    rng: np.random.Generator | None = None,
+) -> LinearSystem:
+    """A Poisson system with a smooth source term.
+
+    ``source="sine"`` uses a product of sines (the classic manufactured
+    solution); ``"random"`` uses unit-variance noise; ``"point"`` puts a
+    single unit source at the mesh centre.
+    """
+    op = poisson7(shape, spacing)
+    nx, ny, nz = shape
+    if source == "sine":
+        x = np.sin(np.pi * (np.arange(nx) + 1) / (nx + 1))
+        y = np.sin(np.pi * (np.arange(ny) + 1) / (ny + 1))
+        z = np.sin(np.pi * (np.arange(nz) + 1) / (nz + 1))
+        b = np.einsum("i,j,k->ijk", x, y, z)
+    elif source == "random":
+        rng = rng or np.random.default_rng(7)
+        b = rng.standard_normal(shape)
+    elif source == "point":
+        b = np.zeros(shape)
+        b[nx // 2, ny // 2, nz // 2] = 1.0
+    else:
+        raise ValueError(f"unknown source kind {source!r}")
+    return LinearSystem(
+        operator=op,
+        b=b,
+        name=f"poisson-{nx}x{ny}x{nz}",
+        meta={"spacing": spacing, "source": source, "spd": True},
+    )

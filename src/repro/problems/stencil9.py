@@ -1,0 +1,203 @@
+"""Nine-point 2D stencil operator (section IV.2's 2D mapping).
+
+The paper sketches a second mapping: a 9-point stencil on a large 2D
+mesh, where each core holds a rectangular block of the mesh and all nine
+couplings of its points, and the SpMV generates an *output halo* that is
+exchanged with neighbouring tiles.  This module provides the operator in
+the same diagonal-storage style as :class:`repro.problems.stencil7.Stencil7`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..precision import Precision, spec_for
+
+__all__ = ["Stencil9", "OFFSETS_9PT"]
+
+#: The nine stencil legs: name -> (di, dj) neighbour offset.
+OFFSETS_9PT: dict[str, tuple[int, int]] = {
+    "diag": (0, 0),
+    "e": (1, 0),
+    "w": (-1, 0),
+    "n": (0, 1),
+    "s": (0, -1),
+    "ne": (1, 1),
+    "nw": (-1, 1),
+    "se": (1, -1),
+    "sw": (-1, -1),
+}
+
+_OFF_NAMES_9 = tuple(k for k in OFFSETS_9PT if k != "diag")
+
+
+def _slices2(offset: tuple[int, int]):
+    dst, src = [], []
+    for d in offset:
+        if d == 0:
+            dst.append(slice(None))
+            src.append(slice(None))
+        elif d > 0:
+            dst.append(slice(None, -d))
+            src.append(slice(d, None))
+        else:
+            dst.append(slice(-d, None))
+            src.append(slice(None, d))
+    return tuple(dst), tuple(src)
+
+
+@dataclass
+class Stencil9:
+    """A 9-point stencil linear operator on an ``nx x ny`` mesh."""
+
+    coeffs: dict[str, np.ndarray]
+    shape: tuple[int, int] = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.coeffs:
+            raise ValueError("Stencil9 requires at least one coefficient array")
+        if self.shape is None:
+            self.shape = tuple(next(iter(self.coeffs.values())).shape)  # type: ignore[assignment]
+        if len(self.shape) != 2:
+            raise ValueError(f"expected a 2D mesh shape, got {self.shape}")
+        full = {}
+        for name in OFFSETS_9PT:
+            if name in self.coeffs:
+                arr = np.asarray(self.coeffs[name], dtype=np.float64)
+                if arr.shape != self.shape:
+                    raise ValueError(
+                        f"coefficient {name!r} has shape {arr.shape}, "
+                        f"expected {self.shape}"
+                    )
+                full[name] = arr
+            elif name == "diag":
+                full[name] = np.ones(self.shape, dtype=np.float64)
+            else:
+                full[name] = np.zeros(self.shape, dtype=np.float64)
+        unknown = set(self.coeffs) - set(OFFSETS_9PT)
+        if unknown:
+            raise ValueError(f"unknown stencil coefficient names: {sorted(unknown)}")
+        self.coeffs = full
+
+    @property
+    def n(self) -> int:
+        """Total number of meshpoints."""
+        return self.shape[0] * self.shape[1]
+
+    @property
+    def has_unit_diagonal(self) -> bool:
+        return bool(np.all(self.coeffs["diag"] == 1.0))
+
+    def validate(self) -> None:
+        """Check no leg couples across the mesh boundary."""
+        nx, ny = self.shape
+        for name in _OFF_NAMES_9:
+            di, dj = OFFSETS_9PT[name]
+            c = self.coeffs[name]
+            if di > 0 and np.any(c[-di:, :]):
+                raise ValueError(f"leg {name!r} couples across the +x boundary")
+            if di < 0 and np.any(c[:-di, :]):
+                raise ValueError(f"leg {name!r} couples across the -x boundary")
+            if dj > 0 and np.any(c[:, -dj:]):
+                raise ValueError(f"leg {name!r} couples across the +y boundary")
+            if dj < 0 and np.any(c[:, :-dj]):
+                raise ValueError(f"leg {name!r} couples across the -y boundary")
+
+    def apply(
+        self,
+        v: np.ndarray,
+        precision: Precision | str = Precision.DOUBLE,
+    ) -> np.ndarray:
+        """Matrix-vector product ``u = A v``.
+
+        In the 2D mapping all nine multiply-adds for a point happen on one
+        core with FMAC (section IV.2), so under fp16 precisions we use the
+        exact-product / rounded-accumulate structure per leg.
+        """
+        spec = spec_for(precision)
+        dt = spec.elementwise
+        flat_input = v.ndim == 1
+        vv = v.reshape(self.shape).astype(dt, copy=False)
+        diag = self.coeffs["diag"]
+        if self.has_unit_diagonal:
+            u = vv.copy()
+        else:
+            u = (diag.astype(dt, copy=False) * vv).astype(dt)
+        for name in _OFF_NAMES_9:
+            c = self.coeffs[name]
+            if not np.any(c):
+                continue
+            dst, src = _slices2(OFFSETS_9PT[name])
+            u[dst] += c[dst].astype(dt, copy=False) * vv[src]
+        return u.ravel() if flat_input else u
+
+    def __matmul__(self, v: np.ndarray) -> np.ndarray:
+        return self.apply(v)
+
+    def to_csr(self) -> sp.csr_matrix:
+        """Assemble the equivalent SciPy CSR matrix (fp64 ground truth)."""
+        n = self.n
+        idx = np.arange(n).reshape(self.shape)
+        rows, cols, vals = [], [], []
+        for name, offset in OFFSETS_9PT.items():
+            c = self.coeffs[name]
+            dst, src = _slices2(offset)
+            r = idx[dst].ravel()
+            cidx = idx[src].ravel()
+            vv = c[dst].ravel()
+            mask = vv != 0.0
+            if name == "diag":
+                mask = np.ones_like(mask)
+            rows.append(r[mask])
+            cols.append(cidx[mask])
+            vals.append(vv[mask])
+        return sp.csr_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(n, n),
+        )
+
+    def jacobi_precondition(
+        self, b: np.ndarray | None = None
+    ) -> tuple["Stencil9", np.ndarray | None, np.ndarray]:
+        """Row-scale to a unit main diagonal; see Stencil7's docstring."""
+        diag = self.coeffs["diag"]
+        if np.any(diag == 0.0):
+            raise ZeroDivisionError("Jacobi preconditioning requires a nonzero diagonal")
+        dinv = 1.0 / diag
+        new_coeffs = {"diag": np.ones_like(diag)}
+        for name in _OFF_NAMES_9:
+            new_coeffs[name] = self.coeffs[name] * dinv
+        bprime = None if b is None else np.asarray(b, dtype=np.float64).reshape(
+            self.shape
+        ) * dinv
+        return Stencil9(new_coeffs, shape=self.shape), bprime, dinv
+
+    @classmethod
+    def from_random(
+        cls,
+        shape: tuple[int, int],
+        rng: np.random.Generator | None = None,
+        dominance: float = 1.25,
+    ) -> "Stencil9":
+        """Random diagonally dominant 9-point operator for tests."""
+        rng = rng or np.random.default_rng(0)
+        coeffs = {n: -rng.uniform(0.1, 1.0, size=shape) for n in _OFF_NAMES_9}
+        for name in _OFF_NAMES_9:
+            di, dj = OFFSETS_9PT[name]
+            c = coeffs[name]
+            if di > 0:
+                c[-di:, :] = 0.0
+            if di < 0:
+                c[:-di, :] = 0.0
+            if dj > 0:
+                c[:, -dj:] = 0.0
+            if dj < 0:
+                c[:, :-dj] = 0.0
+        rowsum = sum(np.abs(c) for c in coeffs.values())
+        coeffs["diag"] = dominance * rowsum + 1e-3
+        op = cls(coeffs, shape=shape)
+        op.validate()
+        return op

@@ -1,0 +1,31 @@
+"""Krylov solvers: the paper's BiCGStab plus baselines and extensions.
+
+* :func:`bicgstab` — reference implementation of Algorithm 1, any
+  precision mode.
+* :func:`cg` — conjugate gradient baseline for SPD systems.
+* :func:`refined_solve` — fp64 iterative refinement around a
+  mixed-precision inner BiCGStab (paper section VI.B's proposed remedy).
+* :class:`WaferBiCGStab` — the wafer-mapped distributed solve with the
+  CS-1 timing model attached (imported lazily from
+  :mod:`repro.solver.wafer_bicgstab` to avoid pulling the wafer substrate
+  in for users who only want the reference solver).
+"""
+
+from .result import SolveResult
+from .bicgstab import bicgstab, operation_counts
+from .cg import cg
+from .grouped import bicgstab_grouped
+from .refinement import refined_solve
+from .wafer_bicgstab import WaferBiCGStab, WaferCG, WaferSolveResult
+
+__all__ = [
+    "SolveResult",
+    "bicgstab",
+    "operation_counts",
+    "cg",
+    "bicgstab_grouped",
+    "refined_solve",
+    "WaferBiCGStab",
+    "WaferCG",
+    "WaferSolveResult",
+]

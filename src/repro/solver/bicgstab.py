@@ -1,0 +1,212 @@
+"""BiCGStab — the paper's Algorithm 1, precision-parameterized.
+
+The stabilized biconjugate gradient method of van der Vorst solves
+nonsymmetric systems ``A x = b`` with two SpMVs, four inner products, and
+six AXPY-class vector updates per iteration (paper Table I).  This module
+provides the *reference* implementation used everywhere in the library:
+the functional wafer solver and the cluster-simulator solver both
+reproduce its arithmetic, and the tests cross-check them against it.
+
+Arithmetic follows :mod:`repro.precision`: with ``Precision.MIXED`` all
+vector data and elementwise updates are fp16 while the four dot products
+multiply in fp16 and accumulate in fp32 (the hardware inner-product
+instruction) — exactly the paper's production configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..precision import Precision, dot, spec_for
+from .result import SolveResult
+
+__all__ = ["bicgstab", "operation_counts"]
+
+#: Per-iteration kernel counts (matches paper Table I's row structure).
+OPERATION_COUNTS = {"spmv": 2, "dot": 4, "axpy": 6}
+
+
+def operation_counts() -> dict[str, int]:
+    """Kernel invocations per BiCGStab iteration (2 SpMV, 4 dot, 6 AXPY).
+
+    The 6 AXPY-class updates: q = r - alpha*s; x += alpha*p; x += omega*q;
+    r = q - omega*y; p-update inner step p - omega*s; p = r + beta*(...).
+    """
+    return dict(OPERATION_COUNTS)
+
+
+def bicgstab(
+    operator: Any,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    precision: Precision | str = Precision.DOUBLE,
+    rtol: float = 1e-8,
+    maxiter: int = 1000,
+    record_true_residual: bool = False,
+    callback: Callable[[int, float], None] | None = None,
+    dot_fn: Callable[[np.ndarray, np.ndarray], float] | None = None,
+    residual_replacement_every: int | None = None,
+) -> SolveResult:
+    """Solve ``A x = b`` with BiCGStab (paper Algorithm 1).
+
+    Parameters
+    ----------
+    operator:
+        Object with ``apply(v, precision=...)`` (a ``Stencil7``/``Stencil9``
+        or anything matching that protocol).
+    b:
+        Right-hand side (mesh-shaped or flat).
+    x0:
+        Initial guess; zeros when omitted (as in Algorithm 1, where
+        ``r0 := b``).
+    precision:
+        Arithmetic mode; see :class:`repro.precision.Precision`.
+    rtol:
+        Convergence tolerance on the recurrence residual relative to
+        ``||b||``.  For mixed precision the attainable limit is near fp16
+        machine precision (paper Fig. 9 plateaus around 1e-2..1e-3);
+        requesting a smaller ``rtol`` simply runs until ``maxiter``.
+    record_true_residual:
+        Also record the fp64 true residual each iteration (one extra fp64
+        SpMV per iteration; used by the Fig. 9 reproduction).
+    callback:
+        Called as ``callback(iteration, relative_residual)`` after each
+        iteration.
+    dot_fn:
+        Override for the global inner product (the wafer and cluster
+        solvers inject their AllReduce here); defaults to the precision
+        mode's dot.
+    residual_replacement_every:
+        When set, every N iterations the recurrence residual is replaced
+        by the directly computed ``b - A x`` (one extra SpMV) — the
+        classic van der Vorst/Sleijpen safeguard against recurrence
+        drift, which matters in low precision where the recurrence
+        residual can underflow far below the true one (the Fig. 9
+        phenomenon).  Off by default, as in the paper's implementation.
+
+    Returns
+    -------
+    SolveResult
+        With the iterate promoted to fp64 for reporting.
+    """
+    prec = Precision.parse(precision)
+    spec = spec_for(prec)
+    st = spec.storage
+    sc = spec.scalar
+
+    shape = operator.shape
+    b_arr = np.asarray(b, dtype=np.float64).reshape(shape)
+    b_store = b_arr.astype(st)
+    if dot_fn is None:
+        dot_fn = lambda u, v: dot(u, v, prec)  # noqa: E731
+
+    bnorm = float(np.sqrt(max(dot_fn(b_store, b_store), 0.0)))
+    if bnorm == 0.0:
+        x = np.zeros(shape)
+        return SolveResult(
+            x=x, converged=True, iterations=0, residuals=[0.0],
+            precision=prec.value,
+        )
+
+    if x0 is None:
+        x = np.zeros(shape, dtype=st)
+        r = b_store.copy()
+    else:
+        x = np.asarray(x0, dtype=np.float64).reshape(shape).astype(st)
+        r = (b_arr - operator.apply(x.astype(np.float64))).astype(st)
+
+    # Converged initial guess: nothing to do (also avoids a spurious
+    # rho-breakdown on an exactly-zero residual).
+    init_res = float(np.sqrt(max(dot_fn(r, r), 0.0))) / bnorm
+    if init_res <= rtol:
+        return SolveResult(
+            x=x.astype(np.float64), converged=True, iterations=0,
+            residuals=[init_res], precision=prec.value,
+        )
+
+    # Algorithm 1 line 2: r0 := b (shadow residual), p0 := r0.
+    r0 = r.copy()
+    p = r.copy()
+    rho = sc.type(dot_fn(r0, r))
+
+    residuals: list[float] = []
+    true_residuals: list[float] | None = [] if record_true_residual else None
+    breakdown: str | None = None
+    converged = False
+    it = 0
+
+    def _elem(x_):
+        return x_.astype(st, copy=False)
+
+    for it in range(1, maxiter + 1):
+        if abs(float(rho)) < np.finfo(np.float64).tiny:
+            breakdown = "rho"
+            it -= 1
+            break
+        # line 4: s_i := A p_i
+        s = _elem(operator.apply(p, precision=prec))
+        # line 5: alpha_i := (r0, r_i) / (r0, s_i)
+        r0s = sc.type(dot_fn(r0, s))
+        if abs(float(r0s)) < np.finfo(np.float64).tiny:
+            breakdown = "rho"
+            it -= 1
+            break
+        alpha = sc.type(rho / r0s)
+        # line 6: q_i := r_i - alpha_i s_i   (AXPY)
+        q = _elem(r - st.type(alpha) * s)
+        # line 7: y_i := A q_i
+        y = _elem(operator.apply(q, precision=prec))
+        # line 8: omega_i := (q_i, y_i) / (y_i, y_i)
+        qy = sc.type(dot_fn(q, y))
+        yy = sc.type(dot_fn(y, y))
+        # yy == 0 means q (hence y = Aq) vanished: the alpha half-step
+        # already solved the system.  Finish the update with omega = 0
+        # and let the residual check conclude.
+        half_step_exact = abs(float(yy)) < np.finfo(np.float64).tiny
+        omega = sc.type(0.0) if half_step_exact else sc.type(qy / yy)
+        # line 9: x_i := x_i + alpha p_i + omega q_i   (2 AXPYs)
+        x = _elem(x + st.type(alpha) * p)
+        x = _elem(x + st.type(omega) * q)
+        # line 10: r_{i+1} := q_i - omega y_i   (AXPY; reuses q's storage
+        # on the wafer -- section IV's 10Z-words-per-core budget)
+        r = _elem(q - st.type(omega) * y)
+        # Residual replacement (van der Vorst/Sleijpen safeguard).
+        if (
+            residual_replacement_every
+            and it % residual_replacement_every == 0
+        ):
+            r = (b_arr - operator.apply(x.astype(np.float64))).astype(st)
+        # line 11: beta_i := (alpha/omega) (r0, r_{i+1}) / (r0, r_i)
+        rho_new = sc.type(dot_fn(r0, r))
+        res = float(np.sqrt(max(dot_fn(r, r), 0.0))) / bnorm
+        residuals.append(res)
+        if true_residuals is not None:
+            x64 = x.astype(np.float64)
+            tr = b_arr - operator.apply(x64)
+            true_residuals.append(
+                float(np.linalg.norm(tr.ravel()) / np.linalg.norm(b_arr.ravel()))
+            )
+        if callback is not None:
+            callback(it, res)
+        if res <= rtol:
+            converged = True
+            break
+        if abs(float(omega)) < np.finfo(np.float64).tiny:
+            breakdown = "omega"
+            break
+        beta = sc.type((alpha / omega) * (rho_new / rho))
+        rho = rho_new
+        # line 12: p_{i+1} := r_{i+1} + beta (p_i - omega s_i)  (2 AXPYs)
+        p = _elem(r + st.type(beta) * _elem(p - st.type(omega) * s))
+
+    return SolveResult(
+        x=x.astype(np.float64),
+        converged=converged,
+        iterations=it,
+        residuals=residuals,
+        true_residuals=true_residuals,
+        breakdown=breakdown,
+        precision=prec.value,
+    )

@@ -1,0 +1,63 @@
+"""Solver result and convergence-history containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SolveResult"]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate (mesh-shaped, fp64 view of whatever storage
+        precision the solver ran in).
+    converged:
+        True when the requested tolerance was met.
+    iterations:
+        Number of completed iterations.
+    residuals:
+        Relative residual-norm history, one entry per iteration, computed
+        in the solver's own precision from the recurrence (what the
+        hardware can observe cheaply).
+    true_residuals:
+        Optional fp64 ``||b - A x|| / ||b||`` history (extra matvecs;
+        recorded when the solver is asked to).
+    breakdown:
+        None, or a string naming the BiCGStab breakdown that stopped the
+        solve ("rho", "omega", "stagnation").
+    precision:
+        Name of the arithmetic mode used.
+    info:
+        Free-form extras (e.g. modeled wafer time per iteration).
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residuals: list[float] = field(default_factory=list)
+    true_residuals: list[float] | None = None
+    breakdown: str | None = None
+    precision: str = "double"
+    info: dict = field(default_factory=dict)
+
+    @property
+    def final_residual(self) -> float:
+        """Last recurrence relative-residual value (inf when no history)."""
+        return self.residuals[-1] if self.residuals else float("inf")
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        status = "converged" if self.converged else (
+            f"breakdown({self.breakdown})" if self.breakdown else "max-iterations"
+        )
+        return (
+            f"{status} after {self.iterations} iterations, "
+            f"relative residual {self.final_residual:.3e} [{self.precision}]"
+        )

@@ -1,0 +1,79 @@
+"""Tessellation channel assignment for the SpMV exchange (Fig. 5).
+
+Every tile broadcasts its local iterate vector to its four neighbours on
+a *single* channel (one colour in Fig. 5), and receives its neighbours'
+vectors on four *distinct* channels, each consumed by its own background
+thread.  That requires a colouring ``c(x, y)`` of the tile grid such
+that, at every tile, the four neighbours' colours are pairwise distinct
+and all differ from the tile's own colour — five colours in play at
+each tile, matching the five-channel budget the paper describes
+("We allocate channel numbers to make all five of these channels
+different at every tile").
+
+The classic perfect-difference colouring does it with exactly five
+colours::
+
+    c(x, y) = (x + 2*y) mod 5
+
+The four neighbours of a tile with colour ``c`` then carry colours
+``c+1, c-1, c+2, c-2 (mod 5)`` — all distinct and never ``c``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "N_SPMV_CHANNELS",
+    "tile_channel",
+    "channel_map",
+    "verify_tessellation",
+]
+
+#: The SpMV exchange uses five virtual channels.
+N_SPMV_CHANNELS = 5
+
+
+def tile_channel(x: int, y: int) -> int:
+    """The broadcast channel (colour) of tile ``(x, y)``."""
+    return (x + 2 * y) % 5
+
+
+def channel_map(width: int, height: int) -> np.ndarray:
+    """Colour every tile of a ``width x height`` fabric.
+
+    Returns an ``(height, width)`` int array, ``out[y, x] = c(x, y)``.
+    """
+    xs = np.arange(width)[None, :]
+    ys = np.arange(height)[:, None]
+    return (xs + 2 * ys) % 5
+
+
+def verify_tessellation(colors: np.ndarray) -> None:
+    """Assert the Fig. 5 property on a colour map.
+
+    At every tile: the colours of the (up to four) in-bounds neighbours
+    are pairwise distinct, and none equals the tile's own colour.
+    Raises ``AssertionError`` with the offending tile otherwise.
+    """
+    h, w = colors.shape
+    for y in range(h):
+        for x in range(w):
+            own = colors[y, x]
+            neigh = []
+            if x + 1 < w:
+                neigh.append(colors[y, x + 1])
+            if x - 1 >= 0:
+                neigh.append(colors[y, x - 1])
+            if y + 1 < h:
+                neigh.append(colors[y + 1, x])
+            if y - 1 >= 0:
+                neigh.append(colors[y - 1, x])
+            if len(set(int(c) for c in neigh)) != len(neigh):
+                raise AssertionError(
+                    f"tile ({x},{y}): neighbour colours {neigh} are not distinct"
+                )
+            if any(int(c) == int(own) for c in neigh):
+                raise AssertionError(
+                    f"tile ({x},{y}): a neighbour shares the tile's own colour {own}"
+                )

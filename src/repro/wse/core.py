@@ -1,0 +1,177 @@
+"""The processing core: threads, instruction issue, fabric endpoints.
+
+Each tile's core supports nine concurrent threads of execution (paper
+section II.A); a background thread runs a single tensor instruction
+asynchronously with no context-switch overhead.  The core model here
+advances every active instruction each cycle, bounded by SIMD width and
+by data availability (fabric arrivals are rate-limited by the router to
+one word per channel per cycle, which is what actually paces the SpMV).
+
+Timing fidelity note (DESIGN.md section 7): real hardware shares one
+datapath among threads; we let all threads progress each cycle.  The
+resulting cycle counts are optimistic lower bounds — the analytic model
+in :mod:`repro.perfmodel.wafer` carries the calibrated issue costs, and
+tests compare the two on the SpMV kernel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .config import MachineConfig
+from .dsr import FabricRx, Instruction
+from .fifo import HardwareFifo
+from .memory import TileMemory
+from .task import TaskScheduler
+
+__all__ = ["Core"]
+
+
+class Core:
+    """One tile's core: memory, scheduler, thread slots, fabric endpoints."""
+
+    def __init__(self, x: int, y: int, config: MachineConfig):
+        self.x = x
+        self.y = y
+        self.config = config
+        self.memory = TileMemory(config.memory_per_tile)
+        self.scheduler = TaskScheduler()
+        self.threads: list[Instruction | None] = [None] * config.n_threads
+        #: Synchronous (main-thread) instruction queue: executed in order,
+        #: the head advancing each cycle.  Listing 1's zm product runs here.
+        self.main: deque[Instruction] = deque()
+        #: Arrival queues: channel -> list of subscriber deques.  The
+        #: router delivers one word per channel per cycle; the core fans
+        #: each arrival out to every subscriber of that channel (models
+        #: the ramp feeding multiple functional units; used for the
+        #: looped-back local vector consumed by both the z-leg thread and
+        #: the main-diagonal thread).
+        self._subscribers: dict[int, list[deque]] = {}
+        #: Injection queues: channel -> deque polled by the router.
+        self._tx: dict[int, deque] = {}
+        self.tx_capacity = 8
+        #: Cycle statistics.
+        self.elements_processed = 0
+        self.cycles_active = 0
+        #: Set by completion-tree terminal tasks; polled by simulations.
+        self.flags: dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Fabric endpoints
+    # ------------------------------------------------------------------
+    def subscribe(self, channel: int) -> deque:
+        """Create and return a new arrival queue for ``channel``.
+
+        Every word the router delivers on the channel is appended to all
+        subscriber queues, each consumed independently by one FabricRx.
+        """
+        q: deque = deque()
+        self._subscribers.setdefault(int(channel), []).append(q)
+        return q
+
+    def deliver(self, channel: int, value) -> None:
+        """Router -> core delivery (fans out to all subscribers)."""
+        subs = self._subscribers.get(int(channel))
+        if not subs:
+            raise RuntimeError(
+                f"core ({self.x},{self.y}) received a word on channel {channel} "
+                "with no subscriber — routing misconfiguration"
+            )
+        for q in subs:
+            q.append(value)
+
+    def can_inject(self, channel: int) -> bool:
+        """Whether the egress queue for ``channel`` has space this cycle."""
+        q = self._tx.get(int(channel))
+        return q is None or len(q) < self.tx_capacity
+
+    def inject(self, channel: int, value) -> bool:
+        """Core -> router injection; False when the egress queue is full."""
+        q = self._tx.setdefault(int(channel), deque())
+        if len(q) >= self.tx_capacity:
+            return False
+        q.append(value)
+        return True
+
+    def poll_tx(self, channel: int):
+        """Router side: take one outgoing word on ``channel`` (or None)."""
+        q = self._tx.get(int(channel))
+        if q:
+            return q.popleft()
+        return None
+
+    def tx_channels(self):
+        """Channels with pending outgoing words."""
+        return [c for c, q in self._tx.items() if q]
+
+    # ------------------------------------------------------------------
+    # Program construction helpers
+    # ------------------------------------------------------------------
+    def make_fifo(self, name: str, capacity: int = 20, activates: str | None = None) -> HardwareFifo:
+        """Create a hardware FIFO, optionally activating a task on push."""
+        on_push = (lambda: self.scheduler.activate(activates)) if activates else None
+        fifo = HardwareFifo(name, capacity, on_push)
+        return fifo
+
+    def launch(self, instr: Instruction, thread: int | None = None) -> None:
+        """Start an instruction: in a background thread slot, or queued on
+        the main thread when ``thread`` is None."""
+        if thread is None:
+            self.main.append(instr)
+            return
+        if not (0 <= thread < len(self.threads)):
+            raise ValueError(f"thread slot {thread} out of range")
+        if self.threads[thread] is not None:
+            raise RuntimeError(
+                f"thread slot {thread} on core ({self.x},{self.y}) is occupied "
+                f"by {self.threads[thread].name!r}"
+            )
+        self.threads[thread] = instr
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        """One cycle: dispatch ready tasks, advance all live instructions.
+
+        Returns the number of vector elements processed this cycle.
+        """
+        self.scheduler.dispatch(self)
+        simd = self.config.simd_width_fp16
+        processed = 0
+        # Main (synchronous) instruction: strictly in-order.
+        if self.main:
+            head = self.main[0]
+            processed += head.step(simd)
+            if head.finished:
+                self.main.popleft()
+                self._fire(head)
+        # Background threads: all progress (see module docstring).
+        for slot, instr in enumerate(self.threads):
+            if instr is None:
+                continue
+            processed += instr.step(simd)
+            if instr.finished:
+                self.threads[slot] = None
+                self._fire(instr)
+        # Tasks activated by this cycle's completions run next cycle,
+        # matching the hardware's schedule-on-event behaviour.
+        self.elements_processed += processed
+        if processed:
+            self.cycles_active += 1
+        return processed
+
+    def _fire(self, instr: Instruction) -> None:
+        for comp in instr.completions:
+            self.scheduler.apply(comp.task, comp.action)
+
+    @property
+    def idle(self) -> bool:
+        """True when no instruction is live and no task is ready."""
+        if self.main:
+            return False
+        if any(t is not None for t in self.threads):
+            return False
+        return not self.scheduler.ready()

@@ -1,0 +1,358 @@
+"""Data Structure Registers: tensor, fabric, and FIFO descriptors.
+
+On the CS-1, special-purpose DSRs generate tensor access addresses in
+hardware — they are the machine's loop counters (paper section II.A:
+"Special purpose Data Structure Registers (DSRs) generate tensor access
+addresses in hardware eliminating overheads of nested loops").  A vector
+instruction names descriptors for its destination and sources; the
+hardware then streams elements, one SIMD group per cycle, until the
+descriptor's extent is exhausted.
+
+This module models descriptors as *cursors*: each knows whether its next
+element can be produced/consumed this cycle (memory always can; a fabric
+input needs an arrived word; a FIFO needs space or data) and advances as
+the owning :class:`Instruction` executes.  Descriptors deliberately keep
+their position between instruction invocations when shared (the SpMV sum
+task relies on its accumulator descriptors "tracking their progress" over
+repeated activations).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "Action",
+    "Completion",
+    "MemCursor",
+    "FabricRx",
+    "FabricTx",
+    "FifoPop",
+    "FifoPush",
+    "Instruction",
+]
+
+
+class Action(enum.Enum):
+    """Scheduler manipulation fired when a thread completes (listing 1's
+    ``.act`` field on fabric descriptors)."""
+
+    ACTIVATE = "activate"
+    UNBLOCK = "unblock"
+    BLOCK = "block"
+
+
+@dataclass(frozen=True)
+class Completion:
+    """A (task, action) pair fired on instruction completion."""
+
+    task: str
+    action: Action
+
+
+class MemCursor:
+    """Memory tensor descriptor: base array + offset + stride + extent.
+
+    ``consume=False`` descriptors (accumulators) retain their position
+    across instructions until explicitly ``reset()``; this mirrors the
+    hardware DSRs aliasing the same output vector while advancing
+    asynchronously (listing 1's ``*_acc`` descriptors).
+    """
+
+    def __init__(
+        self,
+        array: np.ndarray,
+        offset: int = 0,
+        length: int | None = None,
+        stride: int = 1,
+        name: str = "",
+    ):
+        self.array = array
+        self.offset = int(offset)
+        self.stride = int(stride)
+        self.length = int(length) if length is not None else len(array) - offset
+        if self.offset < 0:
+            raise ValueError("negative descriptor offset")
+        last = self.offset + (self.length - 1) * self.stride
+        if self.length > 0 and not (0 <= last < len(array)):
+            raise ValueError(
+                f"descriptor {name or '<mem>'} overruns its array: "
+                f"offset={offset} stride={stride} length={self.length} "
+                f"array size={len(array)}"
+            )
+        self.pos = 0
+        self.name = name
+
+    # A memory port is always ready (single-cycle load-to-use).
+    def can_read(self) -> bool:
+        return self.pos < self.length
+
+    def can_write(self) -> bool:
+        return self.pos < self.length
+
+    def _index(self) -> int:
+        return self.offset + self.pos * self.stride
+
+    def read(self):
+        v = self.array[self._index()]
+        self.pos += 1
+        return v
+
+    def peek(self):
+        """Read without advancing (for read-modify-write accumulation)."""
+        return self.array[self._index()]
+
+    def write(self, value) -> None:
+        self.array[self._index()] = value
+        self.pos += 1
+
+    @property
+    def done(self) -> bool:
+        return self.pos >= self.length
+
+    def reset(self) -> None:
+        self.pos = 0
+
+    def remaining(self) -> int:
+        return self.length - self.pos
+
+
+class FabricRx:
+    """Fabric input descriptor: consumes words arriving on a channel.
+
+    Bound at program-build time to a per-consumer arrival queue on the
+    core (see :meth:`repro.wse.core.Core.subscribe`).  Carries the thread
+    slot and the completion trigger of listing 1's ``fabric`` declarations
+    (``.thr``, ``.trig``, ``.act``).
+    """
+
+    def __init__(
+        self,
+        queue: deque,
+        length: int,
+        channel: int,
+        name: str = "",
+    ):
+        self.queue = queue
+        self.length = int(length)
+        self.channel = int(channel)
+        self.pos = 0
+        self.name = name
+
+    def can_read(self) -> bool:
+        return self.pos < self.length and len(self.queue) > 0
+
+    def read(self):
+        self.pos += 1
+        return self.queue.popleft()
+
+    @property
+    def done(self) -> bool:
+        return self.pos >= self.length
+
+
+class FabricTx:
+    """Fabric output descriptor: injects words onto a channel.
+
+    Bound to a core's egress queue.  ``can_write`` reflects
+    back-pressure (egress queue full), so an instruction never consumes
+    source elements it cannot inject.
+    """
+
+    def __init__(
+        self,
+        core,
+        length: int,
+        channel: int,
+        name: str = "",
+    ):
+        self._core = core
+        self.length = int(length)
+        self.channel = int(channel)
+        self.pos = 0
+        self.name = name
+
+    def can_write(self) -> bool:
+        return self.pos < self.length and self._core.can_inject(self.channel)
+
+    def write(self, value) -> bool:
+        if not self._core.inject(self.channel, value):
+            return False
+        self.pos += 1
+        return True
+
+    @property
+    def done(self) -> bool:
+        return self.pos >= self.length
+
+
+class ScalarAccumulator:
+    """A core register accumulating a reduction (the dot instruction's
+    fp32 accumulator).  Never exhausts; ``peek`` reads the running value.
+    """
+
+    def __init__(self, dtype=np.float32, name: str = ""):
+        self.dtype = np.dtype(dtype)
+        self.value = self.dtype.type(0.0)
+        self.name = name
+        self.writes = 0
+
+    def can_write(self) -> bool:
+        return True
+
+    def peek(self):
+        return self.value
+
+    def write(self, value) -> bool:
+        self.value = self.dtype.type(value)
+        self.writes += 1
+        return True
+
+    def reset(self) -> None:
+        self.value = self.dtype.type(0.0)
+
+
+class FifoPop:
+    """Source operand draining a hardware FIFO."""
+
+    def __init__(self, fifo, name: str = ""):
+        self.fifo = fifo
+        self.name = name
+
+    def can_read(self) -> bool:
+        return not self.fifo.empty
+
+    def read(self):
+        return self.fifo.pop()
+
+
+class FifoPush:
+    """Destination operand feeding a hardware FIFO (push may activate a
+    task; see :class:`repro.wse.fifo.HardwareFifo`)."""
+
+    def __init__(self, fifo, length: int, name: str = ""):
+        self.fifo = fifo
+        self.length = int(length)
+        self.pos = 0
+        self.name = name
+
+    def can_write(self) -> bool:
+        return self.pos < self.length and not self.fifo.full
+
+    def write(self, value) -> bool:
+        if self.fifo.full:
+            return False
+        self.fifo.push(value)
+        self.pos += 1
+        return True
+
+    @property
+    def done(self) -> bool:
+        return self.pos >= self.length
+
+
+@dataclass
+class Instruction:
+    """One vector instruction: an op over descriptor operands.
+
+    Ops
+    ---
+    ``copy``   dst[i] = src0[i]
+    ``mul``    dst[i] = src0[i] * src1[i]
+    ``add``    dst[i] = src0[i] + src1[i]
+    ``addin``  dst[i] = dst[i] + src0[i]  (read-modify-write accumulate)
+    ``axpy``   dst[i] = src0[i] + scalar * src1[i]  (scalar in a register)
+    ``mac``    dst    = dst + src0[i] * src1[i]  (reduction into a
+               :class:`ScalarAccumulator`; fp16 operands multiply exactly
+               via fp32, the hardware mixed-dot semantics)
+
+    Arithmetic is performed on NumPy scalars so fp16 operands round to
+    nearest fp16 after each operation, exactly like the 16-bit SIMD unit.
+
+    ``length`` bounds how many elements this *invocation* processes; an
+    instruction whose destination is a persistent accumulator may be
+    re-issued later and continue where the descriptor left off.
+
+    ``rate`` caps elements per cycle below the SIMD width — the mixed
+    dot instruction sustains 2 FMAC/cycle, not 4 (paper section II.A).
+
+    ``completions`` fire on the scheduler when the instruction finishes
+    (modeling listing 1's thread-completion triggers).
+    """
+
+    op: str
+    dst: object
+    srcs: list = field(default_factory=list)
+    length: int = 0
+    completions: list[Completion] = field(default_factory=list)
+    name: str = ""
+    scalar: float | None = None
+    rate: int | None = None
+    processed: int = 0
+    finished: bool = False
+
+    _OPS = ("copy", "mul", "add", "addin", "axpy", "mac")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise ValueError(f"unknown op {self.op!r}; expected one of {self._OPS}")
+        n_src = {"copy": 1, "mul": 2, "add": 2, "addin": 1, "axpy": 2,
+                 "mac": 2}[self.op]
+        if len(self.srcs) != n_src:
+            raise ValueError(f"op {self.op!r} needs {n_src} sources, got {len(self.srcs)}")
+        if self.op == "axpy" and self.scalar is None:
+            raise ValueError("op 'axpy' requires a scalar")
+
+    def _ready(self) -> bool:
+        if not all(s.can_read() for s in self.srcs):
+            return False
+        return self.dst.can_write()
+
+    def step(self, max_elems: int) -> int:
+        """Advance up to ``max_elems`` elements; returns elements processed."""
+        if self.rate is not None:
+            max_elems = min(max_elems, self.rate)
+        done_ct = 0
+        while done_ct < max_elems and self.processed < self.length:
+            if not self._ready():
+                break
+            if self.op == "addin":
+                current = self.dst.peek()
+                value = current + self.srcs[0].read()
+            elif self.op == "mac":
+                a = self.srcs[0].read()
+                b = self.srcs[1].read()
+                if np.asarray(a).dtype == np.float16:
+                    prod = np.float32(a) * np.float32(b)
+                else:
+                    prod = a * b
+                value = self.dst.peek() + prod
+            elif self.op == "axpy":
+                y_v = self.srcs[0].read()
+                x_v = self.srcs[1].read()
+                a_r = np.asarray(y_v).dtype.type(self.scalar)
+                value = y_v + a_r * x_v
+            else:
+                vals = [s.read() for s in self.srcs]
+                if self.op == "copy":
+                    value = vals[0]
+                elif self.op == "mul":
+                    value = vals[0] * vals[1]
+                else:
+                    value = vals[0] + vals[1]
+            ok = self.dst.write(value)
+            if ok is False:  # fabric/FIFO back-pressure after srcs consumed
+                raise RuntimeError(
+                    f"instruction {self.name!r}: destination refused a write "
+                    "after sources were consumed; check can_write gating"
+                )
+            self.processed += 1
+            done_ct += 1
+        if self.processed >= self.length:
+            self.finished = True
+        return done_ct

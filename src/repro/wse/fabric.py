@@ -1,0 +1,271 @@
+"""The on-wafer interconnect: routers, links, virtual channels.
+
+Paper section II.A: each tile's router has five bidirectional links (to
+the four neighbours and to its own core) and "can move data into and out
+of these five links, in parallel, on every cycle".  Routing is configured
+offline; data travel along virtual channels; "the fanout of data to
+multiple destinations is done through the routing; the router can
+forward an input word to any subset of its five output ports".
+
+The model: each router holds, per (channel, input-port), a bounded FIFO
+of in-flight words, and a static routing table mapping (channel,
+input-port) to a set of output ports.  Every cycle each router forwards
+at most one word per (channel, input-port) — subject to one word per
+(channel, output-port) per cycle and to space in the downstream queue —
+giving exactly one hop per cycle of latency and one word per channel per
+link per cycle of bandwidth (the constants the paper's AllReduce
+analysis relies on).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["Port", "Router", "Fabric", "OPPOSITE"]
+
+
+class Port:
+    """Router port names: four mesh directions plus the core ramp."""
+
+    NORTH = "N"
+    SOUTH = "S"
+    EAST = "E"
+    WEST = "W"
+    CORE = "C"
+    ALL = ("N", "S", "E", "W", "C")
+
+
+#: The port on the neighbouring router that faces back at us.
+OPPOSITE = {"N": "S", "S": "N", "E": "W", "W": "E"}
+
+#: Unit steps in (x, y) for each mesh direction.  +x is EAST, +y is NORTH.
+DIRECTION = {"E": (1, 0), "W": (-1, 0), "N": (0, 1), "S": (0, -1)}
+
+
+@dataclass
+class _Move:
+    """A routing decision staged for the apply phase."""
+
+    src_queue: deque
+    value: object
+    dests: list  # list of (kind, payload): ("queue", deque) or ("core", (core, channel))
+
+
+class Router:
+    """One tile's router: static routes + per-(channel, port) queues."""
+
+    def __init__(self, x: int, y: int, queue_capacity: int = 8):
+        self.x = x
+        self.y = y
+        self.queue_capacity = queue_capacity
+        #: (channel, in_port) -> tuple of out_ports
+        self.routes: dict[tuple[int, str], tuple[str, ...]] = {}
+        #: (channel, in_port) -> deque of words awaiting forwarding
+        self.queues: dict[tuple[int, str], deque] = {}
+        self.words_moved = 0
+
+    def set_route(self, channel: int, in_port: str, out_ports) -> None:
+        """Configure: words on ``channel`` arriving at ``in_port`` fan out
+        to ``out_ports`` (offline routing, as the compiler would)."""
+        key = (int(channel), in_port)
+        outs = tuple(out_ports)
+        for p in (in_port, *outs):
+            if p not in Port.ALL:
+                raise ValueError(f"unknown port {p!r}")
+        if key in self.routes and self.routes[key] != outs:
+            raise ValueError(
+                f"router ({self.x},{self.y}) channel {channel} port {in_port} "
+                f"already routed to {self.routes[key]}, cannot re-route to {outs}"
+            )
+        self.routes[key] = outs
+
+    def queue_for(self, channel: int, in_port: str) -> deque:
+        return self.queues.setdefault((int(channel), in_port), deque())
+
+    def occupancy(self) -> int:
+        """Words currently buffered in this router."""
+        return sum(len(q) for q in self.queues.values())
+
+
+class Fabric:
+    """A rectangular mesh of routers with attached cores.
+
+    Cores are any objects exposing ``deliver(channel, value)``,
+    ``poll_tx(channel)`` and ``tx_channels()`` (see
+    :class:`repro.wse.core.Core`); tiles may also be left core-less for
+    pure routing experiments.
+    """
+
+    def __init__(self, width: int, height: int, queue_capacity: int = 8):
+        if width <= 0 or height <= 0:
+            raise ValueError("fabric dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.routers = [
+            [Router(x, y, queue_capacity) for x in range(width)] for y in range(height)
+        ]
+        self.cores: list[list[object | None]] = [
+            [None] * width for _ in range(height)
+        ]
+        self.cycle = 0
+        self.total_words_moved = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def router(self, x: int, y: int) -> Router:
+        return self.routers[y][x]
+
+    def attach_core(self, x: int, y: int, core) -> None:
+        self.cores[y][x] = core
+
+    def core(self, x: int, y: int):
+        return self.cores[y][x]
+
+    def in_bounds(self, x: int, y: int) -> bool:
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def neighbor(self, x: int, y: int, port: str) -> tuple[int, int] | None:
+        dx, dy = DIRECTION[port]
+        nx, ny = x + dx, y + dy
+        return (nx, ny) if self.in_bounds(nx, ny) else None
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def step_network(self) -> int:
+        """One network cycle: ingest injections, then move words one hop.
+
+        Two-phase (decide from cycle-start state, then apply) so a word
+        moves exactly one hop per cycle regardless of iteration order.
+        Returns the number of words moved.
+        """
+        # Phase 0: pull core injections into the router CORE-port queues.
+        for y in range(self.height):
+            for x in range(self.width):
+                core = self.cores[y][x]
+                if core is None:
+                    continue
+                router = self.routers[y][x]
+                for channel in list(core.tx_channels()):
+                    q = router.queue_for(channel, Port.CORE)
+                    if len(q) < router.queue_capacity:
+                        v = core.poll_tx(channel)
+                        if v is not None:
+                            q.append(v)
+
+        # Phase 1: stage moves based on cycle-start queue contents.
+        moves: list[_Move] = []
+        # Track (router, channel, out_port) usage to enforce one word per
+        # channel per output link per cycle.
+        out_used: set[tuple[int, int, int, str]] = set()
+        # Track planned appends per destination queue for capacity checks.
+        planned: dict[int, int] = {}
+
+        for y in range(self.height):
+            for x in range(self.width):
+                router = self.routers[y][x]
+                for (channel, in_port), q in sorted(
+                    router.queues.items(), key=lambda kv: (kv[0][0], kv[0][1])
+                ):
+                    if not q:
+                        continue
+                    route = router.routes.get((channel, in_port))
+                    if route is None:
+                        raise RuntimeError(
+                            f"word on channel {channel} at router ({x},{y}) "
+                            f"port {in_port} has no configured route"
+                        )
+                    # Check every fanout destination is available.
+                    dests = []
+                    ok = True
+                    for out_port in route:
+                        if (x, y, channel, out_port) in out_used:
+                            ok = False
+                            break
+                        if out_port == Port.CORE:
+                            core = self.cores[y][x]
+                            if core is None:
+                                raise RuntimeError(
+                                    f"route delivers to missing core at ({x},{y})"
+                                )
+                            dests.append(("core", (core, channel)))
+                        else:
+                            nb = self.neighbor(x, y, out_port)
+                            if nb is None:
+                                raise RuntimeError(
+                                    f"route at ({x},{y}) sends channel {channel} "
+                                    f"off the fabric via port {out_port}"
+                                )
+                            nxr = self.routers[nb[1]][nb[0]]
+                            dq = nxr.queue_for(channel, OPPOSITE[out_port])
+                            if len(dq) + planned.get(id(dq), 0) >= nxr.queue_capacity:
+                                ok = False
+                                break
+                            dests.append(("queue", dq))
+                    if not ok:
+                        continue
+                    for out_port in route:
+                        out_used.add((x, y, channel, out_port))
+                    for kind, payload in dests:
+                        if kind == "queue":
+                            planned[id(payload)] = planned.get(id(payload), 0) + 1
+                    moves.append(_Move(q, q[0], dests))
+                    router.words_moved += 1
+
+        # Phase 2: apply.
+        for mv in moves:
+            mv.src_queue.popleft()
+            for kind, payload in mv.dests:
+                if kind == "queue":
+                    payload.append(mv.value)
+                else:
+                    core, channel = payload
+                    core.deliver(channel, mv.value)
+        self.total_words_moved += len(moves)
+        return len(moves)
+
+    def step(self) -> dict:
+        """One full cycle: network then all cores.  Returns stats."""
+        words = self.step_network()
+        elements = 0
+        for y in range(self.height):
+            for x in range(self.width):
+                core = self.cores[y][x]
+                if core is not None and hasattr(core, "step"):
+                    elements += core.step()
+        self.cycle += 1
+        return {"words_moved": words, "elements": elements}
+
+    def quiescent(self) -> bool:
+        """No words in flight and every attached core idle."""
+        for y in range(self.height):
+            for x in range(self.width):
+                if self.routers[y][x].occupancy():
+                    return False
+                core = self.cores[y][x]
+                if core is not None:
+                    if hasattr(core, "idle") and not core.idle:
+                        return False
+                    if hasattr(core, "tx_channels") and core.tx_channels():
+                        return False
+        return True
+
+    def run(self, max_cycles: int = 100_000, until=None) -> int:
+        """Step until ``until(fabric)`` is true or the fabric quiesces.
+
+        Returns the cycle count.  Raises ``RuntimeError`` on timeout so
+        deadlocks in routing configurations are loud.
+        """
+        for _ in range(max_cycles):
+            self.step()
+            if until is not None:
+                if until(self):
+                    return self.cycle
+            elif self.quiescent():
+                return self.cycle
+        raise RuntimeError(
+            f"fabric did not quiesce within {max_cycles} cycles "
+            "(deadlock or livelock in the routing program?)"
+        )

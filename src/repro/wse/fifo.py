@@ -1,0 +1,73 @@
+"""Hardware-managed in-memory FIFOs.
+
+Paper section IV.1: "The instruction set supports hardware-managed,
+in-memory FIFOs that use memory regions as circular buffers. The core has
+special hardware registers to manage the state (head and tail location,
+for example) of each FIFO. ... [FIFOs] are able to activate tasks ...
+whenever they aren't empty."
+
+The SpMV kernel uses five of these (``term[0]``..``term[4]``, depth 20)
+to decouple the multiply threads from the accumulation task.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+__all__ = ["HardwareFifo"]
+
+
+class HardwareFifo:
+    """A bounded FIFO whose pushes can activate a scheduler task.
+
+    Parameters
+    ----------
+    capacity:
+        Circular-buffer depth in words (the paper used 20).
+    on_push:
+        Callback invoked after every push (the program builder wires this
+        to ``scheduler.activate(sum_task)``).
+    """
+
+    def __init__(self, name: str, capacity: int = 20, on_push: Callable[[], None] | None = None):
+        if capacity <= 0:
+            raise ValueError("FIFO capacity must be positive")
+        self.name = name
+        self.capacity = int(capacity)
+        self.on_push = on_push
+        self._buf: deque = deque()
+        self.total_pushed = 0
+        self.high_water = 0
+
+    @property
+    def empty(self) -> bool:
+        return not self._buf
+
+    @property
+    def full(self) -> bool:
+        return len(self._buf) >= self.capacity
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def push(self, value) -> None:
+        """Push one word; fires ``on_push``; raises when full.
+
+        Producers must gate on :attr:`full` (the multiply threads stall
+        when their FIFO is full — that back-pressure is what bounds the
+        memory footprint of the intermediate products).
+        """
+        if self.full:
+            raise OverflowError(f"push to full FIFO {self.name!r}")
+        self._buf.append(value)
+        self.total_pushed += 1
+        self.high_water = max(self.high_water, len(self._buf))
+        if self.on_push is not None:
+            self.on_push()
+
+    def pop(self):
+        """Pop the oldest word; raises when empty."""
+        if not self._buf:
+            raise IndexError(f"pop from empty FIFO {self.name!r}")
+        return self._buf.popleft()

@@ -1,0 +1,104 @@
+"""Wafer-Scale Engine geometry: dies, tiles, and the compute fabric.
+
+Paper section II: the wafer holds a 7 x 12 array of 84 identical dies;
+each die holds a 51 x 89 grid of tiles (Fig. 2), for ~381,000 tiles in
+total.  Die boundaries are invisible to the program — the interconnect
+extends across the scribe lines with no bandwidth penalty — but we keep
+the die decomposition because the machine description (and Fig. 2) is
+phrased in terms of it.  The experiments ran on "a 602 x 595 compute
+fabric" (section V): a rectangular usable subgrid after edge tiles are
+reserved for I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WaferGeometry", "CS1_GEOMETRY"]
+
+
+@dataclass(frozen=True)
+class WaferGeometry:
+    """Physical layout of a wafer-scale engine.
+
+    Parameters
+    ----------
+    die_cols, die_rows:
+        The die grid (12 x 7 on the CS-1).
+    die_width, die_height:
+        Tiles per die along x and y (51 x 89 on the CS-1).
+    fabric_width, fabric_height:
+        The usable compute fabric presented to programs (602 x 595 for
+        the paper's experiments).
+    """
+
+    die_cols: int = 12
+    die_rows: int = 7
+    die_width: int = 51
+    die_height: int = 89
+    fabric_width: int = 602
+    fabric_height: int = 595
+    #: "1.2 trillion transistors in an area of 462.25 cm2" (Fig. 2).
+    transistors: float = 1.2e12
+    area_cm2: float = 462.25
+
+    def __post_init__(self) -> None:
+        if self.fabric_width > self.total_width or self.fabric_height > self.total_height:
+            raise ValueError(
+                f"compute fabric {self.fabric_width}x{self.fabric_height} exceeds "
+                f"the physical tile grid {self.total_width}x{self.total_height}"
+            )
+
+    @property
+    def total_width(self) -> int:
+        """Physical tile columns on the wafer."""
+        return self.die_cols * self.die_width
+
+    @property
+    def total_height(self) -> int:
+        """Physical tile rows on the wafer."""
+        return self.die_rows * self.die_height
+
+    @property
+    def total_tiles(self) -> int:
+        """All fabricated tiles (~381k on the CS-1)."""
+        return self.total_width * self.total_height
+
+    @property
+    def fabric_tiles(self) -> int:
+        """Tiles in the usable compute fabric."""
+        return self.fabric_width * self.fabric_height
+
+    @property
+    def diameter(self) -> int:
+        """Mesh diameter of the compute fabric in hops."""
+        return (self.fabric_width - 1) + (self.fabric_height - 1)
+
+    def die_of(self, x: int, y: int) -> tuple[int, int]:
+        """Die (column, row) containing physical tile ``(x, y)``."""
+        self._check(x, y)
+        return x // self.die_width, y // self.die_height
+
+    def crosses_scribe_line(self, x0: int, y0: int, x1: int, y1: int) -> bool:
+        """Whether the hop between two adjacent tiles crosses a die edge.
+
+        Architecturally irrelevant (no penalty) but exposed so tests can
+        confirm the fabric genuinely ignores die boundaries.
+        """
+        if abs(x0 - x1) + abs(y0 - y1) != 1:
+            raise ValueError("tiles are not adjacent")
+        return self.die_of(x0, y0) != self.die_of(x1, y1)
+
+    def hop_distance(self, a: tuple[int, int], b: tuple[int, int]) -> int:
+        """Manhattan hop count between two tiles."""
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def _check(self, x: int, y: int) -> None:
+        if not (0 <= x < self.total_width and 0 <= y < self.total_height):
+            raise IndexError(
+                f"tile ({x}, {y}) outside wafer {self.total_width}x{self.total_height}"
+            )
+
+
+#: The CS-1 as described in the paper (sections II and V).
+CS1_GEOMETRY = WaferGeometry()

@@ -1,0 +1,183 @@
+"""Routing-pattern combinators (Fig. 6b's geometry-operation DAG).
+
+The paper constructs the AllReduce routing as "a DAG of geometry
+operations (rotation, mirror image flip, and horizontal/vertical
+stacking) whose leaves are single-tile router configurations, and the
+DAG is compiled into the fabric routing tables".  This module implements
+that construction language:
+
+* a *tile config* is a mapping ``(channel, in_port) -> (out_ports...)``;
+* a :class:`Pattern` is a rectangular array of tile configs;
+* combinators ``hstack/vstack`` join patterns, ``hrep/vrep`` repeat
+  them, ``hflip/vflip`` mirror them (remapping E<->W / N<->S in both the
+  input and output ports), and ``rot180`` composes the two flips.
+
+:func:`compile_to_fabric` loads a finished pattern into a
+:class:`repro.wse.fabric.Fabric`'s routing tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fabric import Fabric
+
+__all__ = [
+    "TileConfig",
+    "Pattern",
+    "single",
+    "hstack",
+    "vstack",
+    "hrep",
+    "vrep",
+    "hflip",
+    "vflip",
+    "rot180",
+    "compile_to_fabric",
+]
+
+TileConfig = dict  # (channel, in_port) -> tuple(out_ports)
+
+_H_SWAP = {"E": "W", "W": "E", "N": "N", "S": "S", "C": "C"}
+_V_SWAP = {"N": "S", "S": "N", "E": "E", "W": "W", "C": "C"}
+
+
+def _swap_config(cfg: TileConfig, table: dict) -> TileConfig:
+    out: TileConfig = {}
+    for (channel, in_port), out_ports in cfg.items():
+        out[(channel, table[in_port])] = tuple(table[p] for p in out_ports)
+    return out
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A ``height x width`` array of tile router configs.
+
+    ``tiles[y][x]`` is the config of the tile at column ``x``, row ``y``
+    (row 0 at the bottom: +y is NORTH, matching the fabric)."""
+
+    tiles: tuple  # tuple of rows, each a tuple of TileConfig
+
+    @property
+    def width(self) -> int:
+        return len(self.tiles[0]) if self.tiles else 0
+
+    @property
+    def height(self) -> int:
+        return len(self.tiles)
+
+    def at(self, x: int, y: int) -> TileConfig:
+        return self.tiles[y][x]
+
+
+def single(config: TileConfig | None = None) -> Pattern:
+    """A 1x1 pattern (a DAG leaf)."""
+    return Pattern(((dict(config or {}),),))
+
+
+def hstack(*patterns: Pattern) -> Pattern:
+    """Join patterns left-to-right (all must share a height)."""
+    patterns = tuple(p for p in patterns if p.width > 0)
+    if not patterns:
+        return Pattern(())
+    h = patterns[0].height
+    if any(p.height != h for p in patterns):
+        raise ValueError(
+            f"hstack height mismatch: {[p.height for p in patterns]}"
+        )
+    rows = []
+    for y in range(h):
+        row: list[TileConfig] = []
+        for p in patterns:
+            row.extend(dict(c) for c in p.tiles[y])
+        rows.append(tuple(row))
+    return Pattern(tuple(rows))
+
+
+def vstack(*patterns: Pattern) -> Pattern:
+    """Join patterns bottom-to-top (all must share a width).
+
+    ``vstack(a, b)`` places ``a`` below ``b`` (a's rows keep lower y)."""
+    patterns = tuple(p for p in patterns if p.height > 0)
+    if not patterns:
+        return Pattern(())
+    w = patterns[0].width
+    if any(p.width != w for p in patterns):
+        raise ValueError(f"vstack width mismatch: {[p.width for p in patterns]}")
+    rows = []
+    for p in patterns:
+        rows.extend(tuple(dict(c) for c in row) for row in p.tiles)
+    return Pattern(tuple(rows))
+
+
+def hrep(pattern: Pattern, n: int) -> Pattern:
+    """Repeat a pattern ``n`` times horizontally (Fig. 6b's "H REP")."""
+    if n < 0:
+        raise ValueError("repeat count must be >= 0")
+    return hstack(*([pattern] * n)) if n else Pattern(())
+
+
+def vrep(pattern: Pattern, n: int) -> Pattern:
+    """Repeat a pattern ``n`` times vertically (Fig. 6b's "V REP")."""
+    if n < 0:
+        raise ValueError("repeat count must be >= 0")
+    return vstack(*([pattern] * n)) if n else Pattern(())
+
+
+def hflip(pattern: Pattern) -> Pattern:
+    """Mirror left-right; E and W swap in every route."""
+    rows = tuple(
+        tuple(_swap_config(c, _H_SWAP) for c in reversed(row))
+        for row in pattern.tiles
+    )
+    return Pattern(rows)
+
+
+def vflip(pattern: Pattern) -> Pattern:
+    """Mirror top-bottom; N and S swap in every route (Fig. 6b "V FLIP")."""
+    rows = tuple(
+        tuple(_swap_config(c, _V_SWAP) for c in row)
+        for row in reversed(pattern.tiles)
+    )
+    return Pattern(rows)
+
+
+def rot180(pattern: Pattern) -> Pattern:
+    """Rotate by 180 degrees (both flips composed)."""
+    return hflip(vflip(pattern))
+
+
+def merge(a: Pattern, b: Pattern) -> Pattern:
+    """Overlay two same-shape patterns (disjoint channel/port keys)."""
+    if (a.width, a.height) != (b.width, b.height):
+        raise ValueError("merge requires identical shapes")
+    rows = []
+    for ra, rb in zip(a.tiles, b.tiles):
+        row = []
+        for ca, cb in zip(ra, rb):
+            overlap = set(ca) & set(cb)
+            conflicting = {k for k in overlap if ca[k] != cb[k]}
+            if conflicting:
+                raise ValueError(f"conflicting routes for keys {conflicting}")
+            m = dict(ca)
+            m.update(cb)
+            row.append(m)
+        rows.append(tuple(row))
+    return Pattern(tuple(rows))
+
+
+def compile_to_fabric(pattern: Pattern, fabric: Fabric) -> None:
+    """Load a pattern into a fabric's router tables.
+
+    The pattern must match the fabric's dimensions exactly — the paper's
+    DAG is built for a specific fabric shape and compiled offline.
+    """
+    if (pattern.width, pattern.height) != (fabric.width, fabric.height):
+        raise ValueError(
+            f"pattern {pattern.width}x{pattern.height} does not match "
+            f"fabric {fabric.width}x{fabric.height}"
+        )
+    for y in range(pattern.height):
+        for x in range(pattern.width):
+            for (channel, in_port), out_ports in pattern.at(x, y).items():
+                fabric.router(x, y).set_route(channel, in_port, out_ports)

@@ -1,0 +1,111 @@
+"""Fabric instrumentation: traffic traces and utilization statistics.
+
+The paper reasons about the fabric in terms of sustained words per
+cycle per link and router occupancy (injection bandwidth = 16 B/cycle,
+one word per channel per link per cycle).  This module records those
+quantities from a running :class:`~repro.wse.fabric.Fabric` so kernel
+authors can see where a program is fabric-limited:
+
+* per-cycle total words moved (the network activity trace);
+* per-router cumulative words and peak queue occupancy (hot spots).
+
+Attach a :class:`FabricTrace` before running, then read its report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .fabric import Fabric
+
+__all__ = ["FabricTrace", "trace_run"]
+
+
+@dataclass
+class FabricTrace:
+    """Recorder wrapping a fabric's step loop."""
+
+    fabric: Fabric
+    words_per_cycle: list[int] = field(default_factory=list)
+    peak_occupancy: int = 0
+    _last_total: int = 0
+
+    def snapshot(self) -> None:
+        """Record one cycle's activity (call after each fabric.step)."""
+        moved = self.fabric.total_words_moved - self._last_total
+        self._last_total = self.fabric.total_words_moved
+        self.words_per_cycle.append(moved)
+        occ = 0
+        for row in self.fabric.routers:
+            for router in row:
+                occ = max(occ, router.occupancy())
+        self.peak_occupancy = max(self.peak_occupancy, occ)
+
+    # ------------------------------------------------------------------
+    @property
+    def cycles(self) -> int:
+        return len(self.words_per_cycle)
+
+    @property
+    def total_words(self) -> int:
+        return int(np.sum(self.words_per_cycle)) if self.words_per_cycle else 0
+
+    @property
+    def mean_words_per_cycle(self) -> float:
+        return self.total_words / self.cycles if self.cycles else 0.0
+
+    @property
+    def peak_words_per_cycle(self) -> int:
+        return max(self.words_per_cycle) if self.words_per_cycle else 0
+
+    def utilization(self) -> float:
+        """Mean fraction of the peak observed network activity."""
+        if not self.words_per_cycle or self.peak_words_per_cycle == 0:
+            return 0.0
+        return self.mean_words_per_cycle / self.peak_words_per_cycle
+
+    def busiest_routers(self, k: int = 5) -> list[tuple[tuple[int, int], int]]:
+        """Top-k routers by cumulative words moved."""
+        counts = []
+        for row in self.fabric.routers:
+            for router in row:
+                counts.append(((router.x, router.y), router.words_moved))
+        counts.sort(key=lambda t: -t[1])
+        return counts[:k]
+
+    def report(self) -> str:
+        lines = [
+            f"fabric trace: {self.cycles} cycles, {self.total_words} words",
+            f"  mean {self.mean_words_per_cycle:.2f} words/cycle, "
+            f"peak {self.peak_words_per_cycle}, "
+            f"utilization {self.utilization() * 100:.0f}% of peak cycle",
+            f"  peak router occupancy: {self.peak_occupancy} words",
+        ]
+        busiest = self.busiest_routers(3)
+        if busiest:
+            tops = ", ".join(f"({x},{y}): {n}" for (x, y), n in busiest)
+            lines.append(f"  busiest routers: {tops}")
+        return "\n".join(lines)
+
+
+def trace_run(
+    fabric: Fabric, max_cycles: int = 100_000, until=None
+) -> tuple[int, FabricTrace]:
+    """Run a fabric to completion while recording a trace.
+
+    Same semantics as ``Fabric.run`` but returns ``(cycles, trace)``.
+    """
+    trace = FabricTrace(fabric)
+    for _ in range(max_cycles):
+        fabric.step()
+        trace.snapshot()
+        if until is not None:
+            if until(fabric):
+                return fabric.cycle, trace
+        elif fabric.quiescent():
+            return fabric.cycle, trace
+    raise RuntimeError(
+        f"fabric did not quiesce within {max_cycles} cycles"
+    )

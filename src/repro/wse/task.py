@@ -1,0 +1,147 @@
+"""Tasks and the hardware task scheduler.
+
+Paper section II.A: "Code consists of tasks that react to events. Tasks
+are triggered by other tasks, or by arriving data words. ... There is
+little delay between the completion of a task and the start of a
+subsequent task, as this is handled in hardware."
+
+A task here is a named Python callable (the task body) plus scheduling
+state.  The hardware schedules a task when it is *activated* and not
+*blocked* (listing 1 initializes the SpMV completion tasks blocked and
+manipulates them with ``block()`` / ``unblock()`` / ``activate()``).
+Running a task consumes its activation; tasks re-run only when activated
+again (e.g. by another FIFO push).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .dsr import Action
+
+__all__ = ["Task", "TaskScheduler"]
+
+
+@dataclass
+class Task:
+    """A schedulable task.
+
+    Parameters
+    ----------
+    body:
+        Called as ``body(core)`` when the task is dispatched.
+    priority:
+        Higher runs first among simultaneously-ready tasks.  The SpMV sum
+        task is declared ``__priority__`` "to avoid a race condition with
+        the synchronization task tree" — with FIFO data pending, the sum
+        task must drain before the completion tree hands control back.
+    """
+
+    name: str
+    body: Callable
+    priority: int = 0
+    runs: int = field(default=0, init=False)
+
+
+class TaskScheduler:
+    """Per-core scheduler: activation/blocking state plus dispatch.
+
+    State machine per task: a task runs iff it is in the activated set
+    and not in the blocked set.  ``activate`` on an already-activated
+    task is idempotent (the hardware's activation is a single bit).
+    """
+
+    def __init__(self) -> None:
+        self._tasks: dict[str, Task] = {}
+        self._activated: set[str] = set()
+        self._blocked: set[str] = set()
+        self.dispatch_count = 0
+
+    # ------------------------------------------------------------------
+    # Program construction
+    # ------------------------------------------------------------------
+    def add(self, name: str, body: Callable, priority: int = 0, blocked: bool = False) -> Task:
+        """Register a task; optionally start it in the blocked state."""
+        if name in self._tasks:
+            raise ValueError(f"task {name!r} already defined")
+        t = Task(name, body, priority)
+        self._tasks[name] = t
+        if blocked:
+            self._blocked.add(name)
+        return t
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    # ------------------------------------------------------------------
+    # State manipulation (the block()/unblock()/activate() instructions)
+    # ------------------------------------------------------------------
+    def activate(self, name: str) -> None:
+        self._check(name)
+        self._activated.add(name)
+
+    def block(self, name: str) -> None:
+        self._check(name)
+        self._blocked.add(name)
+
+    def unblock(self, name: str) -> None:
+        self._check(name)
+        self._blocked.discard(name)
+
+    def apply(self, name: str, action: Action) -> None:
+        """Apply a completion trigger's action."""
+        if action is Action.ACTIVATE:
+            self.activate(name)
+        elif action is Action.UNBLOCK:
+            self.unblock(name)
+        elif action is Action.BLOCK:
+            self.block(name)
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown action {action}")
+
+    def is_blocked(self, name: str) -> bool:
+        self._check(name)
+        return name in self._blocked
+
+    def is_activated(self, name: str) -> bool:
+        self._check(name)
+        return name in self._activated
+
+    def _check(self, name: str) -> None:
+        if name not in self._tasks:
+            raise KeyError(f"unknown task {name!r}")
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def ready(self) -> list[Task]:
+        """Tasks currently runnable, highest priority first (stable)."""
+        names = [n for n in self._activated if n not in self._blocked]
+        tasks = [self._tasks[n] for n in names]
+        return sorted(tasks, key=lambda t: (-t.priority, t.name))
+
+    def dispatch(self, core) -> int:
+        """Run ready tasks until none remain ready; returns the number run.
+
+        Task bodies are bookkeeping (they launch threads and flip
+        scheduler bits) so running them within one simulated cycle is the
+        right granularity; the heavy lifting happens in the vector
+        instructions they launch.  A task body may activate further tasks
+        (the completion tree cascades); the loop keeps draining, with a
+        safety bound against accidental infinite activation loops.
+        """
+        ran = 0
+        for _ in range(1000):
+            batch = self.ready()
+            if not batch:
+                break
+            task = batch[0]
+            self._activated.discard(task.name)
+            task.body(core)
+            task.runs += 1
+            self.dispatch_count += 1
+            ran += 1
+        else:  # pragma: no cover - defensive
+            raise RuntimeError("task dispatch did not quiesce within 1000 runs")
+        return ran

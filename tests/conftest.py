@@ -1,0 +1,11 @@
+"""Test-suite configuration.
+
+Hypothesis runs with a fixed profile: no per-example deadline (the
+discrete simulations have legitimately variable step costs) and
+deterministic derandomized generation so CI failures reproduce locally.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("repro", deadline=None, derandomize=True)
+settings.load_profile("repro")

@@ -1,0 +1,133 @@
+"""Tests for the DES BLAS kernels and the energy model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.kernels import run_axpy_des, run_dot_des
+from repro.perfmodel import EnergyModel, HEADLINE_MESH
+from repro.precision import axpy, dot_fp16_fp32
+from repro.wse.dsr import Instruction, MemCursor, ScalarAccumulator
+
+RNG = np.random.default_rng(79)
+
+f16_arrays = hnp.arrays(
+    np.float16, st.integers(1, 64),
+    elements=st.floats(min_value=-8, max_value=8, allow_nan=False, width=16),
+)
+
+
+class TestAxpyDes:
+    def test_bit_identical_to_precision_kernel(self):
+        x = RNG.standard_normal(64).astype(np.float16)
+        y = RNG.standard_normal(64).astype(np.float16)
+        r, _ = run_axpy_des(0.7, x, y)
+        np.testing.assert_array_equal(r, axpy(0.7, x, y, "mixed"))
+
+    def test_simd4_cycle_count(self):
+        """n elements at 4/cycle: ceil(n/4) + launch overhead."""
+        x = np.ones(64, dtype=np.float16)
+        _, cycles = run_axpy_des(1.0, x, x)
+        assert 16 <= cycles <= 18
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            run_axpy_des(1.0, np.ones(3, np.float16), np.ones(4, np.float16))
+
+    @given(f16_arrays, st.floats(min_value=-4, max_value=4, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_reference_property(self, x, a):
+        r, _ = run_axpy_des(a, x, x)
+        np.testing.assert_array_equal(r, axpy(a, x, x, "mixed"))
+
+
+class TestDotDes:
+    def test_matches_hardware_dot(self):
+        x = RNG.standard_normal(128).astype(np.float16)
+        y = RNG.standard_normal(128).astype(np.float16)
+        d, _ = run_dot_des(x, y)
+        assert d == float(dot_fp16_fp32(x, y))
+
+    def test_two_per_cycle_rate(self):
+        """The mixed dot sustains 2 FMAC/cycle: ~n/2 cycles."""
+        x = np.ones(64, dtype=np.float16)
+        _, cycles = run_dot_des(x, x)
+        assert 32 <= cycles <= 34
+
+    def test_dot_slower_than_axpy_per_element(self):
+        x = np.ones(128, dtype=np.float16)
+        _, c_axpy = run_axpy_des(1.0, x, x)
+        _, c_dot = run_dot_des(x, x)
+        assert c_dot > c_axpy
+
+    def test_fp32_accumulation(self):
+        """4096 ones: fp16 accumulation would stall at 2048."""
+        x = np.ones(4096, dtype=np.float16)
+        d, _ = run_dot_des(x, x)
+        assert d == 4096.0
+
+
+class TestScalarAccumulator:
+    def test_accumulates(self):
+        acc = ScalarAccumulator(np.float32)
+        src = np.array([1.0, 2.0, 3.0], dtype=np.float16)
+        instr = Instruction(
+            op="mac", dst=acc,
+            srcs=[MemCursor(src, 0, 3), MemCursor(src, 0, 3)], length=3,
+        )
+        instr.step(8)
+        assert acc.value == pytest.approx(14.0)
+        assert acc.writes == 3
+
+    def test_reset(self):
+        acc = ScalarAccumulator()
+        acc.write(5.0)
+        acc.reset()
+        assert acc.value == 0.0
+
+    def test_axpy_op_requires_scalar(self):
+        with pytest.raises(ValueError, match="scalar"):
+            Instruction(op="axpy", dst=None, srcs=[None, None], length=1)
+
+    def test_rate_cap(self):
+        src = np.ones(8, dtype=np.float16)
+        out = np.zeros(8, dtype=np.float16)
+        instr = Instruction(
+            op="copy", dst=MemCursor(out, 0, 8),
+            srcs=[MemCursor(src, 0, 8)], length=8, rate=2,
+        )
+        assert instr.step(4) == 2  # capped below the SIMD width
+
+
+class TestEnergyModel:
+    @pytest.fixture(scope="class")
+    def cmp(self):
+        return EnergyModel().compare()
+
+    def test_wafer_energy_per_iteration(self, cmp):
+        """28.1 us at 20 kW ~ 0.56 J."""
+        assert cmp.wafer_joules_per_iteration == pytest.approx(
+            28.1e-6 * 20_000, rel=0.01
+        )
+
+    def test_gflops_per_watt_gap(self, cmp):
+        """The abstract's per-watt claim: orders of magnitude."""
+        assert cmp.wafer_gflops_per_watt == pytest.approx(43.0, rel=0.02)
+        assert cmp.cluster_gflops_per_watt < 0.1
+        assert cmp.wafer_gflops_per_watt / cmp.cluster_gflops_per_watt > 1000
+
+    def test_energy_ratio_exceeds_time_ratio(self, cmp):
+        """The cluster also burns more power, so the energy gap beats
+        the ~218x time gap."""
+        assert cmp.energy_ratio > 218
+
+    def test_rack_comparison(self, cmp):
+        """Paper: '1/3 rack' vs a multi-rack 16K-core partition."""
+        assert cmp.wafer_racks == pytest.approx(1 / 3)
+        assert cmp.cluster_racks > 8
+
+    def test_picojoules_per_flop(self):
+        pj = EnergyModel().wafer_picojoules_per_flop(HEADLINE_MESH)
+        assert 10 < pj < 40  # ~23 pJ/flop at 0.86 PFLOPS / 20 kW

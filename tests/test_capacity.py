@@ -1,0 +1,94 @@
+"""Tests for the section VIII capacity roadmap and application models."""
+
+import pytest
+
+from repro.perfmodel import (
+    APPLICATIONS,
+    ROADMAP,
+    Application,
+    TechNode,
+    assess_application,
+    max_cube_edge,
+    max_meshpoints,
+)
+from repro.perfmodel.capacity import CFD_WORDS_PER_POINT, SOLVER_WORDS_PER_POINT
+
+
+class TestRoadmap:
+    def test_paper_sram_numbers(self):
+        """Paper section VIII.B: 18 GB now, 'about 40 GB' at 7 nm,
+        '50 GB at 5 nm'."""
+        by_nm = {n.process_nm: n for n in ROADMAP}
+        assert by_nm[16].sram_gb == pytest.approx(18)
+        assert by_nm[7].sram_gb == pytest.approx(40)
+        assert by_nm[5].sram_gb == pytest.approx(50)
+
+    def test_capacity_monotone_with_shrink(self):
+        caps = [max_meshpoints(n) for n in ROADMAP]
+        assert caps == sorted(caps)
+
+    def test_solver_only_capacity_larger(self):
+        n = ROADMAP[0]
+        assert max_meshpoints(n, SOLVER_WORDS_PER_POINT) > max_meshpoints(
+            n, CFD_WORDS_PER_POINT
+        )
+
+    def test_cs1_holds_600_cubed_cfd(self):
+        """The paper's 600^3 CFD projection must be memory-feasible."""
+        assert max_meshpoints(ROADMAP[0]) >= 600**3
+
+    def test_cube_edge_consistent(self):
+        n = ROADMAP[0]
+        e = max_cube_edge(n)
+        assert e**3 <= max_meshpoints(n) < (e + 1) ** 3 * 1.01
+
+
+class TestApplications:
+    def test_all_cited_cases_present(self):
+        names = " ".join(a.name for a in APPLICATIONS)
+        for key in ("helicopter", "wind-turbine", "carbon-capture", "ship"):
+            assert key in names
+
+    def test_all_fit_on_cs1(self):
+        """Section VIII.B's point: these compact problems fit the wafer."""
+        for app in APPLICATIONS:
+            assert assess_application(app).fits, app.name
+
+    def test_helicopter_faster_than_real_time(self):
+        """Section VIII.A: ~1 M cells, real-time needed — the CS-1
+        achieves it with margin ('first ever system capable of
+        faster-than real-time simulation of millions of cells')."""
+        heli = next(a for a in APPLICATIONS if "helicopter" in a.name)
+        a = assess_application(heli)
+        assert a.realtime_factor is not None
+        assert a.realtime_factor > 1.0
+
+    def test_uq_campaign_speedup(self):
+        """1,505 simulations x 600 s (Xu et al.): the wafer turns the
+        ~10-day campaign into hours."""
+        uq = next(a for a in APPLICATIONS if "carbon-capture" in a.name)
+        a = assess_application(uq)
+        assert a.cluster_campaign_seconds == pytest.approx(1505 * 600)
+        assert a.speedup is not None and a.speedup > 50
+
+    def test_ship_case_speedup_direction(self):
+        ship = next(a for a in APPLICATIONS if "self-propulsion" in a.name)
+        a = assess_application(ship)
+        assert a.speedup is not None and a.speedup > 100
+
+    def test_wind_turbine_sequential_campaign(self):
+        wt = next(a for a in APPLICATIONS if "wind-turbine" in a.name)
+        assert wt.sequential
+        a = assess_application(wt)
+        assert a.campaign_seconds is not None and a.campaign_seconds > 0
+
+    def test_oversized_problem_rejected(self):
+        giant = Application(name="giant", citation="-", cells=1e12)
+        a = assess_application(giant)
+        assert not a.fits
+        assert a.campaign_seconds is None
+
+    def test_bigger_node_fits_more(self):
+        giant = Application(name="big", citation="-", cells=5e8)
+        assert not assess_application(giant, ROADMAP[0]).fits
+        assert assess_application(giant, ROADMAP[2]).fits

@@ -1,0 +1,232 @@
+"""Tests for the SIMPLE CFD substrate (mesh, assembly, cavity physics)."""
+
+import numpy as np
+import pytest
+
+from repro.cfd import (
+    FlowField,
+    OpCounter,
+    SimpleSolver,
+    StaggeredMesh2D,
+    centerline_u,
+    lid_driven_cavity,
+    pressure_correction_system,
+    u_momentum_system,
+    v_momentum_system,
+)
+from repro.cfd.opcounter import CYCLE_COSTS, to_cycles
+
+RNG = np.random.default_rng(61)
+
+
+class TestMesh:
+    def test_spacing(self):
+        m = StaggeredMesh2D(10, 20, 1.0, 2.0)
+        assert m.dx == pytest.approx(0.1)
+        assert m.dy == pytest.approx(0.1)
+
+    def test_shapes(self):
+        m = StaggeredMesh2D(8, 6)
+        assert m.u_shape == (9, 6)
+        assert m.v_shape == (8, 7)
+        assert m.u_interior == (7, 6)
+        assert m.v_interior == (8, 5)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            StaggeredMesh2D(2, 8)
+
+    def test_bad_lengths(self):
+        with pytest.raises(ValueError):
+            StaggeredMesh2D(8, 8, lx=-1.0)
+
+
+class TestFlowField:
+    def test_zero_initial_divergence(self):
+        f = FlowField(StaggeredMesh2D(8, 8))
+        assert f.continuity_residual() == 0.0
+
+    def test_divergence_of_uniform_gradient(self):
+        m = StaggeredMesh2D(4, 4)
+        f = FlowField(m)
+        f.u[:, :] = np.arange(5)[:, None]  # du/dx = 1/dx... linear in i
+        div = f.divergence()
+        np.testing.assert_allclose(div, m.dy)  # (u_e - u_w)*dy = 1*dy
+
+    def test_copy_is_deep(self):
+        f = FlowField(StaggeredMesh2D(4, 4))
+        g = f.copy()
+        g.u[0, 0] = 9.0
+        assert f.u[0, 0] == 0.0
+
+    def test_shape_validation(self):
+        m = StaggeredMesh2D(4, 4)
+        with pytest.raises(ValueError):
+            FlowField(m, u=np.zeros((3, 3)))
+
+    def test_cell_center_velocity_shapes(self):
+        f = FlowField(StaggeredMesh2D(5, 7))
+        uc, vc = f.cell_center_velocity()
+        assert uc.shape == (5, 7)
+        assert vc.shape == (5, 7)
+
+
+class TestAssembly:
+    def _setup(self, n=8):
+        m = StaggeredMesh2D(n, n)
+        f = FlowField(m)
+        f.u[1:-1, :] = 0.1 * RNG.standard_normal(m.u_interior)
+        f.v[:, 1:-1] = 0.1 * RNG.standard_normal(m.v_interior)
+        return m, f
+
+    def test_u_momentum_diagonally_dominant(self):
+        m, f = self._setup()
+        A, b, d_u = u_momentum_system(m, f, mu=0.01, u_lid=1.0)
+        offsum = sum(np.abs(A.coeffs[n]) for n in ("xp", "xm", "yp", "ym"))
+        assert np.all(A.coeffs["diag"] >= offsum - 1e-12)
+
+    def test_u_momentum_valid_stencil(self):
+        m, f = self._setup()
+        A, _, _ = u_momentum_system(m, f, mu=0.01, u_lid=1.0)
+        A.validate()
+
+    def test_v_momentum_valid_stencil(self):
+        m, f = self._setup()
+        A, _, _ = v_momentum_system(m, f, mu=0.01)
+        A.validate()
+
+    def test_lid_enters_u_rhs_top_row(self):
+        m, f = self._setup()
+        _, b0, _ = u_momentum_system(m, f, mu=0.01, u_lid=0.0)
+        _, b1, _ = u_momentum_system(m, f, mu=0.01, u_lid=2.0)
+        diff = b1 - b0
+        assert np.all(diff[:, -1] > 0)       # lid drag on the top row
+        assert np.allclose(diff[:, :-1], 0)  # nowhere else
+
+    def test_d_coefficients_zero_on_boundaries(self):
+        m, f = self._setup()
+        _, _, d_u = u_momentum_system(m, f, mu=0.01, u_lid=1.0)
+        assert np.all(d_u[0, :] == 0) and np.all(d_u[-1, :] == 0)
+        _, _, d_v = v_momentum_system(m, f, mu=0.01)
+        assert np.all(d_v[:, 0] == 0) and np.all(d_v[:, -1] == 0)
+
+    def test_pressure_system_symmetric_except_pin(self):
+        m, f = self._setup()
+        _, _, d_u = u_momentum_system(m, f, mu=0.01, u_lid=1.0)
+        _, _, d_v = v_momentum_system(m, f, mu=0.01)
+        A, b = pressure_correction_system(m, f, d_u, d_v)
+        M = A.to_csr().toarray()
+        # drop the pinned row/column, the rest must be symmetric
+        sub = M[1:, 1:]
+        np.testing.assert_allclose(sub, sub.T, atol=1e-12)
+
+    def test_under_relaxation_scales_diagonal(self):
+        m, f = self._setup()
+        A1, _, _ = u_momentum_system(m, f, mu=0.01, u_lid=1.0, alpha_u=1.0)
+        A2, _, _ = u_momentum_system(m, f, mu=0.01, u_lid=1.0, alpha_u=0.5)
+        np.testing.assert_allclose(
+            A2.coeffs["diag"], 2.0 * A1.coeffs["diag"], rtol=1e-12
+        )
+
+
+class TestCavityPhysics:
+    @pytest.fixture(scope="class")
+    def solution(self):
+        solver = lid_driven_cavity(n=24, reynolds=100.0)
+        return solver.solve(max_outer=300, tol=1e-4)
+
+    def test_converges(self, solution):
+        assert solution.converged
+
+    def test_mass_conserved(self, solution):
+        assert solution.field.continuity_residual() < 1e-3
+
+    def test_lid_drags_top_layer(self, solution):
+        """u near the lid follows the lid (positive)."""
+        y, u = centerline_u(solution)
+        assert u[-1] > 0.5
+
+    def test_return_flow_below(self, solution):
+        """Mass conservation forces negative u lower down (the vortex)."""
+        y, u = centerline_u(solution)
+        assert u.min() < -0.05
+
+    def test_qualitative_ghia_agreement(self, solution):
+        """First-order upwind on a 24^2 mesh is diffusive; agreement with
+        Ghia Re=100 is directional: correct sign and magnitude within a
+        factor ~2 at mid-height."""
+        y, u = centerline_u(solution)
+        mid = u[len(u) // 2]
+        assert -0.35 < mid < -0.08  # Ghia: -0.206
+
+    def test_no_flow_through_walls(self, solution):
+        f = solution.field
+        assert np.all(f.u[0, :] == 0) and np.all(f.u[-1, :] == 0)
+        assert np.all(f.v[:, 0] == 0) and np.all(f.v[:, -1] == 0)
+
+    def test_residual_history_decreases(self, solution):
+        r = solution.continuity_residuals
+        assert r[-1] < r[0]
+
+    def test_summary(self, solution):
+        assert "SIMPLE converged" in solution.summary()
+
+
+class TestSimpleConfig:
+    def test_paper_solver_budgets(self):
+        s = lid_driven_cavity()
+        assert s.momentum_iters == 5
+        assert s.continuity_iters == 20
+
+    def test_invalid_reynolds(self):
+        with pytest.raises(ValueError):
+            lid_driven_cavity(reynolds=-5)
+
+    def test_higher_reynolds_converges_slower_or_equal(self):
+        r_lo = lid_driven_cavity(n=12, reynolds=10).solve(max_outer=250, tol=1e-4)
+        r_hi = lid_driven_cavity(n=12, reynolds=400).solve(max_outer=250, tol=1e-4)
+        assert r_lo.converged
+        assert r_lo.iterations <= r_hi.iterations or not r_hi.converged
+
+
+class TestOpCounterIntegration:
+    def test_counts_collected_per_phase(self):
+        solver = lid_driven_cavity(n=8)
+        solver.counter = OpCounter(enabled=True)
+        f = solver.initialize()
+        solver.iterate(f)
+        rep = solver.counter.report()
+        assert {"Initialization", "Momentum", "Continuity", "Field Update"} <= set(rep)
+        assert rep["Momentum"]["cycles"] > rep["Field Update"]["cycles"]
+
+    def test_measured_cycles_within_table2_order(self):
+        """Our single-phase incompressible assembly must land at or below
+        the paper's (more physics-rich) Table II ranges, same order of
+        magnitude."""
+        from repro.perfmodel import table2
+
+        solver = lid_driven_cavity(n=8)
+        solver.counter = OpCounter(enabled=True)
+        solver.iterate(solver.initialize())
+        rep = solver.counter.report()
+        paper = {p.name: p.printed_total for p in table2()}
+        for phase in ("Momentum", "Continuity", "Field Update"):
+            measured = rep[phase]["cycles"]
+            lo, hi = paper[phase]
+            assert measured <= hi * 1.5
+            assert measured >= lo * 0.1
+
+    def test_disabled_counter_collects_nothing(self):
+        solver = lid_driven_cavity(n=8)
+        solver.iterate(solver.initialize())
+        assert solver.counter.report() == {}
+
+    def test_cycle_conversion(self):
+        assert to_cycles({"sqrt": 1}) == CYCLE_COSTS["sqrt"] == 13.0
+        assert to_cycles({"divide": 1}) == 15.5
+        assert to_cycles({"flop": 4}) == 1.0
+
+    def test_unknown_category_rejected(self):
+        c = OpCounter(enabled=True)
+        with pytest.raises(KeyError):
+            c.add("Momentum", "teleport", 1)

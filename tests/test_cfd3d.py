@@ -1,0 +1,165 @@
+"""Tests for the 3D SIMPLE solver (the full Algorithm 2 component loop)."""
+
+import numpy as np
+import pytest
+
+from repro.cfd import FlowField3D, OpCounter, SimpleSolver3D, StaggeredMesh3D
+
+RNG = np.random.default_rng(73)
+
+
+class TestMesh3D:
+    def test_shapes(self):
+        m = StaggeredMesh3D(4, 5, 6)
+        assert m.u_shape == (5, 5, 6)
+        assert m.v_shape == (4, 6, 6)
+        assert m.w_shape == (4, 5, 7)
+        assert m.n_cells == 120
+
+    def test_spacing(self):
+        m = StaggeredMesh3D(10, 10, 20, 1.0, 1.0, 2.0)
+        assert m.dz == pytest.approx(0.1)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            StaggeredMesh3D(2, 5, 5)
+
+
+class TestFlowField3D:
+    def test_initial_state_divergence_free(self):
+        f = FlowField3D(StaggeredMesh3D(4, 4, 4))
+        assert f.continuity_residual() == 0.0
+
+    def test_divergence_of_linear_u(self):
+        m = StaggeredMesh3D(4, 4, 4)
+        f = FlowField3D(m)
+        f.u[:] = np.arange(5)[:, None, None]
+        np.testing.assert_allclose(f.divergence(), m.dy * m.dz)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            FlowField3D(StaggeredMesh3D(4, 4, 4), u=np.zeros((2, 2, 2)))
+
+    def test_copy_deep(self):
+        f = FlowField3D(StaggeredMesh3D(4, 4, 4))
+        g = f.copy()
+        g.w[0, 0, 0] = 1.0
+        assert f.w[0, 0, 0] == 0.0
+
+    def test_kinetic_energy_zero_at_rest(self):
+        f = FlowField3D(StaggeredMesh3D(4, 4, 4))
+        assert f.kinetic_energy() == 0.0
+
+
+class TestAssembly3D:
+    def _solver(self, n=6):
+        return SimpleSolver3D(StaggeredMesh3D(n, n, n), viscosity=0.02)
+
+    def test_momentum_systems_are_valid_stencils(self):
+        s = self._solver()
+        f = FlowField3D(s.mesh)
+        f.u[1:-1] = 0.05 * RNG.standard_normal(s.mesh.u_interior)
+        f.v[:, 1:-1] = 0.05 * RNG.standard_normal(s.mesh.v_interior)
+        f.w[:, :, 1:-1] = 0.05 * RNG.standard_normal(s.mesh.w_interior)
+        for A, b, d in (s._u_system(f), s._v_system(f), s._w_system(f)):
+            A.validate()
+            assert np.all(A.coeffs["diag"] > 0)
+
+    def test_momentum_m_matrix(self):
+        """Upwind + outflow clamp keeps weak diagonal dominance."""
+        s = self._solver()
+        f = FlowField3D(s.mesh)
+        f.u[1:-1] = 0.1 * RNG.standard_normal(s.mesh.u_interior)
+        A, _, _ = s._u_system(f)
+        offsum = sum(np.abs(A.coeffs[n]) for n in
+                     ("xp", "xm", "yp", "ym", "zp", "zm"))
+        assert np.all(A.coeffs["diag"] >= offsum - 1e-12)
+
+    def test_lid_enters_u_only(self):
+        s0 = SimpleSolver3D(StaggeredMesh3D(6, 6, 6), u_lid=0.0)
+        s1 = SimpleSolver3D(StaggeredMesh3D(6, 6, 6), u_lid=1.0)
+        f = FlowField3D(s0.mesh)
+        _, bu0, _ = s0._u_system(f)
+        _, bu1, _ = s1._u_system(f)
+        diff = bu1 - bu0
+        assert np.all(diff[:, -1, :] > 0)
+        assert np.allclose(diff[:, :-1, :], 0)
+        _, bw0, _ = s0._w_system(f)
+        _, bw1, _ = s1._w_system(f)
+        np.testing.assert_allclose(bw0, bw1)  # lid does not force w
+
+    def test_pressure_system_symmetric_except_pin(self):
+        s = self._solver(5)
+        f = FlowField3D(s.mesh)
+        _, _, d_u = s._u_system(f)
+        _, _, d_v = s._v_system(f)
+        _, _, d_w = s._w_system(f)
+        A, _ = s._pressure_system(f, d_u, d_v, d_w)
+        M = A.to_csr().toarray()
+        sub = M[1:, 1:]
+        np.testing.assert_allclose(sub, sub.T, atol=1e-12)
+
+    def test_d_zero_on_boundary_faces(self):
+        s = self._solver()
+        f = FlowField3D(s.mesh)
+        _, _, d_u = s._u_system(f)
+        assert np.all(d_u[0] == 0) and np.all(d_u[-1] == 0)
+        _, _, d_w = s._w_system(f)
+        assert np.all(d_w[:, :, 0] == 0) and np.all(d_w[:, :, -1] == 0)
+
+
+class TestCavity3D:
+    @pytest.fixture(scope="class")
+    def solution(self):
+        solver = SimpleSolver3D(StaggeredMesh3D(10, 10, 10), viscosity=0.01)
+        return solver.solve(max_outer=150, tol=5e-4)
+
+    def test_converges(self, solution):
+        assert solution.converged
+
+    def test_mass_conserved(self, solution):
+        assert solution.field.continuity_residual() < 1e-3
+
+    def test_lid_driven_vortex(self, solution):
+        f = solution.field
+        i, k = 5, 5
+        assert f.u[i, -1, k] > 0.3      # dragged along under the lid
+        assert f.u[i, f.mesh.ny // 2, k] < -0.02  # return flow below
+
+    def test_midplane_symmetry(self, solution):
+        """The cavity is symmetric in z about the mid-plane: u mirrors.
+        (The corner pressure pin and finite convergence leave ~1e-3
+        asymmetry; the flow scale is O(1).)"""
+        f = solution.field
+        u = f.u
+        np.testing.assert_allclose(u, u[:, :, ::-1], atol=5e-3)
+
+    def test_w_antisymmetric_in_z(self, solution):
+        w = solution.field.w
+        np.testing.assert_allclose(w, -w[:, :, ::-1], atol=5e-3)
+
+    def test_no_flow_through_walls(self, solution):
+        f = solution.field
+        assert np.all(f.u[0] == 0) and np.all(f.u[-1] == 0)
+        assert np.all(f.v[:, 0] == 0) and np.all(f.v[:, -1] == 0)
+        assert np.all(f.w[:, :, 0] == 0) and np.all(f.w[:, :, -1] == 0)
+
+    def test_produces_wafer_ready_systems(self):
+        """The 3D momentum systems are exactly what the wafer solver
+        consumes: 7-point, preconditionable, solvable in mixed."""
+        from repro.solver import bicgstab
+
+        s = SimpleSolver3D(StaggeredMesh3D(8, 8, 8), viscosity=0.02)
+        f = FlowField3D(s.mesh)
+        f.u[1:-1] = 0.05 * RNG.standard_normal(s.mesh.u_interior)
+        A, b, _ = s._u_system(f)
+        pre, bp, _ = A.jacobi_precondition(b)
+        res = bicgstab(pre, bp, precision="mixed", rtol=5e-3, maxiter=40)
+        assert res.converged
+
+    def test_opcounter_integration(self):
+        s = SimpleSolver3D(StaggeredMesh3D(6, 6, 6))
+        s.counter = OpCounter(enabled=True)
+        s.iterate(FlowField3D(s.mesh))
+        rep = s.counter.report()
+        assert rep["Momentum"]["cycles"] > rep["Field Update"]["cycles"]

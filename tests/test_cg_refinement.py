@@ -1,0 +1,108 @@
+"""Tests for the CG baseline and the iterative-refinement extension."""
+
+import numpy as np
+import pytest
+
+from repro.problems import Stencil7, convection_diffusion_system, poisson_system
+from repro.solver import bicgstab, cg, refined_solve
+
+RNG = np.random.default_rng(37)
+
+
+class TestCG:
+    def test_spd_convergence(self):
+        sys_ = poisson_system((6, 6, 6))
+        res = cg(sys_.operator, sys_.b, rtol=1e-10, maxiter=500)
+        assert res.converged
+        assert sys_.relative_residual(res.x) < 1e-8
+
+    def test_matches_bicgstab_solution(self):
+        sys_ = poisson_system((5, 5, 5))
+        r1 = cg(sys_.operator, sys_.b, rtol=1e-12, maxiter=500)
+        r2 = bicgstab(sys_.operator, sys_.b, rtol=1e-12, maxiter=500)
+        np.testing.assert_allclose(r1.x, r2.x, rtol=1e-6, atol=1e-9)
+
+    def test_indefinite_breakdown_detected(self):
+        op = Stencil7({"diag": -np.ones((3, 3, 3))})  # negative definite
+        res = cg(op, np.ones(op.shape), maxiter=10)
+        assert res.breakdown == "indefinite"
+        assert not res.converged
+
+    def test_zero_rhs(self):
+        op = Stencil7.identity((3, 3, 3))
+        res = cg(op, np.zeros(op.shape))
+        assert res.converged and res.iterations == 0
+
+    def test_mixed_precision_plateau(self):
+        """CG's true residual in mixed precision stalls near fp16
+        precision (the recurrence may drift below it)."""
+        sys_ = poisson_system((6, 6, 6), source="random").preconditioned()
+        res = cg(sys_.operator, sys_.b, precision="mixed", rtol=1e-12,
+                 maxiter=80)
+        true = sys_.relative_residual(res.x)
+        assert 1e-6 < true < 0.2
+
+    def test_maxiter(self):
+        sys_ = poisson_system((6, 6, 6))
+        res = cg(sys_.operator, sys_.b, rtol=1e-15, maxiter=2)
+        assert res.iterations == 2
+
+
+class TestRefinement:
+    def test_recovers_fp64_accuracy_from_mixed_inner(self):
+        """Paper section VI.B: iterative refinement around a low-precision
+        solver recovers full precision — the plateau becomes a solve."""
+        sys_ = convection_diffusion_system((6, 6, 6)).preconditioned()
+        direct = bicgstab(sys_.operator, sys_.b, precision="mixed",
+                          rtol=1e-10, maxiter=80)
+        refined = refined_solve(sys_.operator, sys_.b, rtol=1e-10,
+                                max_refinements=30)
+        assert sys_.relative_residual(direct.x) > 1e-5  # mixed plateau
+        assert refined.converged
+        assert sys_.relative_residual(refined.x) < 1e-9
+
+    def test_inner_iterations_recorded(self):
+        sys_ = poisson_system((5, 5, 5)).preconditioned()
+        res = refined_solve(sys_.operator, sys_.b, rtol=1e-8)
+        assert res.info["inner_iterations"]
+        assert all(i >= 0 for i in res.info["inner_iterations"])
+
+    def test_zero_rhs(self):
+        op = Stencil7.identity((3, 3, 3))
+        res = refined_solve(op, np.zeros(op.shape))
+        assert res.converged
+
+    def test_outer_residuals_decrease(self):
+        sys_ = poisson_system((5, 5, 5)).preconditioned()
+        res = refined_solve(sys_.operator, sys_.b, rtol=1e-10,
+                            max_refinements=20)
+        assert res.residuals[-1] < res.residuals[0] * 1e-4
+
+    def test_respects_max_refinements(self):
+        sys_ = poisson_system((5, 5, 5)).preconditioned()
+        res = refined_solve(sys_.operator, sys_.b, rtol=1e-30,
+                            max_refinements=3)
+        assert res.iterations <= 3
+
+
+class TestSolveResult:
+    def test_summary_strings(self):
+        sys_ = poisson_system((4, 4, 4))
+        res = bicgstab(sys_.operator, sys_.b, rtol=1e-8, maxiter=100)
+        s = res.summary()
+        assert "converged" in s
+        assert "double" in s
+
+    def test_final_residual_empty_history(self):
+        from repro.solver import SolveResult
+
+        r = SolveResult(x=np.zeros(1), converged=False, iterations=0)
+        assert r.final_residual == float("inf")
+        assert "max-iterations" in r.summary()
+
+    def test_breakdown_summary(self):
+        from repro.solver import SolveResult
+
+        r = SolveResult(x=np.zeros(1), converged=False, iterations=1,
+                        residuals=[1.0], breakdown="rho")
+        assert "breakdown(rho)" in r.summary()

@@ -1,0 +1,68 @@
+"""Smoke tests: the examples must run end to end.
+
+The quick examples run in-process; the slower ones are imported and
+lightly exercised so a broken import or renamed API fails fast without
+spending a minute of CFD per test run.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestExamplesExist:
+    def test_all_examples_present(self):
+        names = {p.stem for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart", "cavity_flow", "precision_study",
+            "scaling_comparison", "wafer_kernels_tour",
+            "transient_cavity", "capacity_planning", "cavity3d",
+            "hpcg_context",
+        } <= names
+
+    def test_every_example_has_main_and_docstring(self):
+        for path in EXAMPLES.glob("*.py"):
+            source = path.read_text()
+            assert '"""' in source.partition("\n")[0] + source, path.name
+            assert "def main()" in source, path.name
+            assert '__name__ == "__main__"' in source, path.name
+
+
+class TestFastExamplesRun:
+    def test_wafer_kernels_tour(self, capsys):
+        _load("wafer_kernels_tour").main()
+        out = capsys.readouterr().out
+        assert "SpMV dataflow" in out
+        assert "AllReduce" in out
+        assert "tessellation" in out.lower()
+
+    def test_capacity_planning(self, capsys):
+        _load("capacity_planning").main()
+        out = capsys.readouterr().out
+        assert "roadmap" in out
+        assert "sufficient bandwidth" in out.lower()
+
+    def test_cavity3d(self, capsys):
+        _load("cavity3d").main()
+        out = capsys.readouterr().out
+        assert "SIMPLE-3D" in out
+        assert "wafer solve" in out
+
+    def test_quickstart(self, capsys):
+        _load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "28.1" in out
+        assert "converged" in out

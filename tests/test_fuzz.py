@@ -1,0 +1,171 @@
+"""Property-based fuzzing of the fabric, instructions, and solvers.
+
+These tests generate random configurations/programs and check
+invariants rather than specific values — the failure-injection and
+coverage-widening layer of the suite.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.problems import Stencil7
+from repro.solver import bicgstab, bicgstab_grouped
+from repro.wse import Fabric, Port
+from repro.wse.dsr import Instruction, MemCursor
+
+
+class _Sink:
+    def __init__(self):
+        self.received = []
+        self._tx = []
+
+    def deliver(self, channel, value):
+        self.received.append(value)
+
+    def poll_tx(self, channel):
+        return self._tx.pop(0)[1] if self._tx and self._tx[0][0] == channel else None
+
+    def tx_channels(self):
+        return [self._tx[0][0]] if self._tx else []
+
+    def step(self):
+        return 0
+
+    @property
+    def idle(self):
+        return not self._tx
+
+
+class TestFabricFuzz:
+    @given(
+        st.integers(2, 10),
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=30),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_line_delivery_order_and_count(self, n, words):
+        """Any word sequence over any line length arrives complete and
+        in order."""
+        f = Fabric(n, 1)
+        src, dst = _Sink(), _Sink()
+        f.attach_core(0, 0, src)
+        f.attach_core(n - 1, 0, dst)
+        for x in range(1, n - 1):
+            f.attach_core(x, 0, _Sink())
+        f.router(0, 0).set_route(0, Port.CORE, (Port.EAST,))
+        for x in range(1, n - 1):
+            f.router(x, 0).set_route(0, Port.WEST, (Port.EAST,))
+        f.router(n - 1, 0).set_route(0, Port.WEST, (Port.CORE,))
+        for wv in words:
+            src._tx.append((0, wv))
+        f.run(max_cycles=10 * (len(words) + n) + 50)
+        assert dst.received == words
+
+    @given(st.integers(2, 8), st.integers(2, 8), st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_broadcast_reaches_all(self, w, h, k):
+        """A row+column broadcast tree delivers every word everywhere."""
+        f = Fabric(w, h)
+        cores = {}
+        for y in range(h):
+            for x in range(w):
+                cores[(x, y)] = _Sink()
+                f.attach_core(x, y, cores[(x, y)])
+        # Root at (0,0): go east along row 0, every row-0 tile fans north
+        # up its column; every tile delivers to its core.
+        for x in range(w):
+            outs = ["C"]
+            if x + 1 < w:
+                outs.append(Port.EAST)
+            if h > 1:
+                outs.append(Port.NORTH)
+            in_port = Port.CORE if x == 0 else Port.WEST
+            f.router(x, 0).set_route(3, in_port, tuple(outs))
+            for y in range(1, h):
+                up = ["C"]
+                if y + 1 < h:
+                    up.append(Port.NORTH)
+                f.router(x, y).set_route(3, Port.SOUTH, tuple(up))
+        for i in range(k):
+            cores[(0, 0)]._tx.append((3, float(i)))
+        f.run(max_cycles=20 * (w + h + k) + 100)
+        for pos, c in cores.items():
+            assert c.received == [float(i) for i in range(k)], pos
+
+
+class TestInstructionFuzz:
+    ops_with_two = st.sampled_from(["mul", "add"])
+
+    @given(
+        ops_with_two,
+        hnp.arrays(np.float16, st.integers(1, 40),
+                   elements=st.floats(-8, 8, allow_nan=False, width=16)),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_elementwise_ops_match_numpy(self, op, arr, chunk):
+        """Stepping in arbitrary chunk sizes must equal the one-shot
+        NumPy result."""
+        n = len(arr)
+        out = np.zeros(n, dtype=np.float16)
+        instr = Instruction(
+            op=op, dst=MemCursor(out, 0, n),
+            srcs=[MemCursor(arr, 0, n), MemCursor(arr.copy(), 0, n)],
+            length=n,
+        )
+        while not instr.finished:
+            moved = instr.step(chunk)
+            assert moved > 0  # memory ops never stall
+        expected = arr * arr if op == "mul" else arr + arr
+        np.testing.assert_array_equal(out, expected.astype(np.float16))
+
+
+class TestSolverFuzz:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_grouped_equals_standard_property(self, seed):
+        rng = np.random.default_rng(seed)
+        op = Stencil7.from_random((4, 4, 4), rng=rng, dominance=1.4)
+        b = rng.standard_normal(op.shape)
+        a = bicgstab(op, b, rtol=1e-9, maxiter=150)
+        g = bicgstab_grouped(op, b, rtol=1e-9, maxiter=150)
+        assert a.iterations == g.iterations
+        np.testing.assert_array_equal(a.x, g.x)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_solution_verifies_property(self, seed):
+        """Whenever the solver claims convergence, the true residual
+        agrees with the claim within round-off."""
+        rng = np.random.default_rng(seed)
+        op = Stencil7.from_random((4, 4, 4), rng=rng, dominance=1.5)
+        b = rng.standard_normal(op.shape)
+        res = bicgstab(op, b, rtol=1e-8, maxiter=200)
+        if res.converged:
+            true = np.linalg.norm((b - op.apply(res.x)).ravel())
+            bnorm = np.linalg.norm(b.ravel())
+            assert true / bnorm < 1e-6
+
+
+class TestClusterOverlapAblation:
+    def test_overlap_never_slower(self):
+        from repro.perfmodel import ClusterModel
+
+        cm = ClusterModel()
+        for cores in (1024, 4096, 16384):
+            t_block = cm.iteration_time((600, 600, 600), cores)
+            t_over = cm.iteration_time((600, 600, 600), cores,
+                                       overlap_halo=True)
+            assert t_over <= t_block
+
+    def test_overlap_gain_is_marginal(self):
+        """The paper's diagnosis: collectives, not halo bandwidth, limit
+        strong scaling — hiding the halo buys little."""
+        from repro.perfmodel import ClusterModel
+
+        cm = ClusterModel()
+        t_block = cm.iteration_time((370, 370, 370), 16384)
+        t_over = cm.iteration_time((370, 370, 370), 16384, overlap_halo=True)
+        assert (t_block - t_over) / t_block < 0.10

@@ -1,0 +1,157 @@
+"""Tests for the general N-point stencil operator and the 27-point case."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.problems.general import (
+    StencilOperator,
+    laplacian27,
+    max_z_for_stencil,
+    wafer_words_per_point,
+)
+from repro.problems import Stencil7, poisson7
+from repro.solver import bicgstab, cg
+
+RNG = np.random.default_rng(97)
+
+
+class TestStencilOperator:
+    def test_matches_stencil7(self):
+        """The general operator must reproduce the specialized one."""
+        s7 = Stencil7.from_random((4, 4, 5), rng=RNG)
+        from repro.problems.stencil7 import OFFSETS_7PT
+
+        gen = StencilOperator(
+            {off: s7.coeffs[name] for name, off in OFFSETS_7PT.items()},
+            shape=s7.shape,
+        )
+        v = RNG.standard_normal(s7.shape)
+        np.testing.assert_allclose(gen.apply(v), s7.apply(v), rtol=1e-13)
+
+    def test_apply_vs_csr(self):
+        op = laplacian27((4, 4, 4))
+        v = RNG.standard_normal((4, 4, 4))
+        np.testing.assert_allclose(
+            op.apply(v), (op.to_csr() @ v.ravel()).reshape(op.shape),
+            rtol=1e-12, atol=1e-12,
+        )
+
+    def test_default_diagonal_is_identity(self):
+        op = StencilOperator({(1, 0, 0): np.zeros((3, 3, 3))})
+        assert op.has_unit_diagonal
+        v = RNG.standard_normal((3, 3, 3))
+        np.testing.assert_array_equal(op.apply(v), v)
+
+    def test_validate_boundary(self):
+        c = np.ones((3, 3, 3))
+        op = StencilOperator({(2, 0, 0): c})
+        with pytest.raises(ValueError, match="boundary"):
+            op.validate()
+
+    def test_offset_dim_mismatch(self):
+        with pytest.raises(ValueError, match="axes"):
+            StencilOperator({(1, 0): np.zeros((3, 3, 3))})
+
+    def test_jacobi(self):
+        op = laplacian27((4, 4, 4))
+        x = RNG.standard_normal((4, 4, 4))
+        b = op.apply(x)
+        pre, bp, _ = op.jacobi_precondition(b)
+        assert pre.has_unit_diagonal
+        np.testing.assert_allclose(pre.apply(x), bp, rtol=1e-12)
+
+    def test_long_range_offsets(self):
+        """Fourth-order-style +-2 offsets work."""
+        shape = (6, 1, 1)
+        c = np.zeros(shape)
+        c[:-2] = 1.0
+        op = StencilOperator({(2, 0, 0): c}, shape=shape)
+        v = np.arange(6, dtype=float).reshape(shape)
+        u = op.apply(v)
+        np.testing.assert_allclose(u.ravel()[:4], v.ravel()[:4] + v.ravel()[2:])
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_random_offsets_vs_csr(self, seed):
+        rng = np.random.default_rng(seed)
+        shape = (4, 4, 4)
+        offsets = [(1, 1, 0), (-1, 0, 1), (0, -1, -1), (1, 0, 0)]
+        coeffs = {}
+        for off in offsets:
+            c = rng.standard_normal(shape)
+            for axis, d in enumerate(off):
+                sl = [slice(None)] * 3
+                if d > 0:
+                    sl[axis] = slice(-d, None)
+                elif d < 0:
+                    sl[axis] = slice(None, -d)
+                else:
+                    continue
+                c[tuple(sl)] = 0.0
+            coeffs[off] = c
+        op = StencilOperator(coeffs, shape=shape)
+        op.validate()
+        v = rng.standard_normal(shape)
+        np.testing.assert_allclose(
+            op.apply(v), (op.to_csr() @ v.ravel()).reshape(shape),
+            rtol=1e-11, atol=1e-11,
+        )
+
+
+class TestLaplacian27:
+    def test_spd(self):
+        A = laplacian27((4, 4, 4)).to_csr().toarray()
+        np.testing.assert_allclose(A, A.T, atol=1e-12)
+        assert np.all(np.linalg.eigvalsh(A) > 0)
+
+    def test_27_points(self):
+        assert laplacian27((4, 4, 4)).n_points == 27
+
+    def test_interior_row_sums_zero(self):
+        op = laplacian27((5, 5, 5))
+        rowsum = np.asarray(op.to_csr().sum(axis=1)).reshape(op.shape)
+        assert abs(rowsum[2, 2, 2]) < 1e-12
+
+    def test_cg_solves_it(self):
+        op = laplacian27((5, 5, 5))
+        b = RNG.standard_normal(op.shape)
+        res = cg(op, b, rtol=1e-10, maxiter=500)
+        assert res.converged
+
+    def test_bicgstab_solves_it_preconditioned_mixed(self):
+        op = laplacian27((5, 5, 5))
+        b = RNG.standard_normal(op.shape)
+        pre, bp, _ = op.jacobi_precondition(b)
+        res = bicgstab(pre, bp, precision="mixed", rtol=1e-2, maxiter=120)
+        assert res.final_residual < 0.05
+
+    def test_comparable_to_7pt_on_smooth_fields(self):
+        """Both Laplacians annihilate constants and agree in sign/order
+        on smooth fields."""
+        shape = (6, 6, 6)
+        op27 = laplacian27(shape)
+        op7 = poisson7(shape)
+        xs = np.linspace(0, 1, 6)[:, None, None]
+        v = np.broadcast_to(np.sin(np.pi * xs), shape).copy()
+        u27 = op27.apply(v)
+        u7 = op7.apply(v)
+        inner = (slice(1, -1),) * 3
+        assert np.all(u27[inner] * u7[inner] > 0)
+
+
+class TestWaferFeasibility:
+    def test_7pt_matches_paper_budget(self):
+        assert wafer_words_per_point(7) == 10
+
+    def test_27pt_caps_z_lower(self):
+        z7 = max_z_for_stencil(7)
+        z27 = max_z_for_stencil(27)
+        assert z7 == 2457
+        assert z27 < z7 / 2
+        assert z27 == 48 * 1024 // (2 * 30)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            wafer_words_per_point(0)

@@ -1,0 +1,43 @@
+"""Tests for the report harness (write-report)."""
+
+from repro.analysis.harness import collect_reports, write_report
+from repro.analysis.reports import REPORTS
+from repro.cli import main
+
+
+class TestCollect:
+    def test_subset(self):
+        out = collect_reports(names={"fig5", "spmv2d"})
+        assert set(out) == {"fig5", "spmv2d"}
+        assert "mod 5" in out["fig5"]
+
+    def test_no_errors_in_fast_subset(self):
+        fast = {"fig5", "spmv2d", "cfd", "sweep", "ablation", "roofline",
+                "multiwafer", "energy", "capacity", "fig1"}
+        out = collect_reports(names=fast)
+        assert not any(text.startswith("ERROR") for text in out.values())
+
+
+class TestWriteReport:
+    def test_writes_markdown(self, tmp_path):
+        p = write_report(tmp_path / "r.md", names={"fig5", "energy"})
+        text = p.read_text()
+        assert text.startswith("# Regenerated experiment reports")
+        assert "## fig5" in text and "## energy" in text
+        assert "```text" in text
+
+    def test_cli_write_report(self, tmp_path, capsys):
+        out = tmp_path / "cli.md"
+        # Patch the registry down to a fast subset for the CLI test.
+        import repro.analysis.harness as harness
+
+        orig = dict(REPORTS)
+        try:
+            REPORTS.clear()
+            REPORTS["fig5"] = orig["fig5"]
+            assert main(["write-report", "--output", str(out)]) == 0
+        finally:
+            REPORTS.clear()
+            REPORTS.update(orig)
+        assert out.exists()
+        assert "fig5" in out.read_text()

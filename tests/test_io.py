@@ -1,0 +1,81 @@
+"""Tests for system persistence (.npz round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.io import load_system, save_system
+from repro.problems import (
+    LinearSystem,
+    Stencil9,
+    convection_diffusion_system,
+    poisson_system,
+)
+from repro.solver import bicgstab
+
+
+class TestRoundTrip:
+    def test_stencil7_round_trip(self, tmp_path):
+        sys_ = convection_diffusion_system((4, 5, 6))
+        p = save_system(sys_, tmp_path / "sys")
+        assert p.suffix == ".npz"
+        loaded = load_system(p)
+        assert loaded.name == sys_.name
+        np.testing.assert_array_equal(loaded.b, sys_.b)
+        for name in sys_.operator.coeffs:
+            np.testing.assert_array_equal(
+                loaded.operator.coeffs[name], sys_.operator.coeffs[name]
+            )
+
+    def test_stencil9_round_trip(self, tmp_path):
+        op = Stencil9.from_random((5, 4), rng=np.random.default_rng(1))
+        sys_ = LinearSystem(operator=op, b=np.ones((5, 4)), name="s9")
+        loaded = load_system(save_system(sys_, tmp_path / "s9.npz"))
+        assert loaded.operator.shape == (5, 4)
+        np.testing.assert_array_equal(
+            loaded.operator.coeffs["ne"], op.coeffs["ne"]
+        )
+
+    def test_x_true_preserved(self, tmp_path):
+        sys_ = poisson_system((4, 4, 4)).manufactured()
+        loaded = load_system(save_system(sys_, tmp_path / "m"))
+        np.testing.assert_array_equal(loaded.x_true, sys_.x_true)
+
+    def test_x_true_absent(self, tmp_path):
+        sys_ = poisson_system((4, 4, 4))
+        loaded = load_system(save_system(sys_, tmp_path / "p"))
+        assert loaded.x_true is None
+
+    def test_metadata_preserved(self, tmp_path):
+        sys_ = convection_diffusion_system((4, 4, 4))
+        loaded = load_system(save_system(sys_, tmp_path / "md"))
+        assert loaded.meta["diffusivity"] == sys_.meta["diffusivity"]
+        assert loaded.meta["spd"] == sys_.meta["spd"]
+
+    def test_solve_after_reload_identical(self, tmp_path):
+        """The loaded system must solve to the same iterates — the whole
+        point of persisting instead of re-seeding."""
+        sys_ = convection_diffusion_system((5, 5, 5))
+        loaded = load_system(save_system(sys_, tmp_path / "solve"))
+        a = bicgstab(sys_.operator, sys_.b, rtol=1e-10, maxiter=200)
+        b = bicgstab(loaded.operator, loaded.b, rtol=1e-10, maxiter=200)
+        assert a.iterations == b.iterations
+        np.testing.assert_array_equal(a.x, b.x)
+
+    def test_unsupported_operator(self, tmp_path):
+        class Weird:
+            shape = (2, 2, 2)
+            n = 8
+
+        sys_ = LinearSystem.__new__(LinearSystem)
+        sys_.operator = Weird()
+        sys_.b = np.zeros((2, 2, 2))
+        sys_.x_true = None
+        sys_.name = "weird"
+        sys_.meta = {}
+        with pytest.raises(TypeError, match="cannot persist"):
+            save_system(sys_, tmp_path / "w")
+
+    def test_suffix_appended(self, tmp_path):
+        sys_ = poisson_system((4, 4, 4))
+        p = save_system(sys_, tmp_path / "noext")
+        assert p.name == "noext.npz"

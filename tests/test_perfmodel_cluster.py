@@ -1,0 +1,91 @@
+"""Tests for the Joule cluster model (Figs. 7-8 anchors and shapes)."""
+
+import pytest
+
+from repro.perfmodel import ClusterModel, JouleSpec
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ClusterModel()
+
+
+class TestAnchors:
+    def test_600_cubed_75ms_at_1024(self, model):
+        """Paper: 'time per BiCGstab iteration on Joule ranges from 75 ms
+        on 1024 cores'."""
+        t = model.iteration_time((600, 600, 600), 1024)
+        assert t == pytest.approx(75e-3, rel=0.05)
+
+    def test_600_cubed_6ms_at_16k(self, model):
+        """'...and scales down to about 6 ms on 16K cores'."""
+        t = model.iteration_time((600, 600, 600), 16384)
+        assert t == pytest.approx(6e-3, rel=0.10)
+
+    def test_214x_cs1_speedup(self, model):
+        """'This is about 214 times more than the 28.1 microseconds'."""
+        s = model.cs1_speedup()
+        assert s == pytest.approx(214, rel=0.06)
+
+
+class TestScalingShape:
+    def test_600_cubed_keeps_scaling(self, model):
+        """Fig. 8: the larger mesh scales (sublinearly) to 16K cores."""
+        curve = model.scaling_curve((600, 600, 600))
+        times = [r["time_ms"] for r in curve]
+        assert all(t1 > t2 for t1, t2 in zip(times, times[1:]))
+        # each doubling still gains at least 1.3x on the big mesh
+        for t1, t2 in zip(times, times[1:]):
+            assert t1 / t2 > 1.3
+
+    def test_370_cubed_stalls_beyond_8k(self, model):
+        """Fig. 7: 'The failure to scale beyond 8K cores on the smaller
+        mesh' — the last doubling must gain well under the big mesh's."""
+        curve = model.scaling_curve((370, 370, 370))
+        t8k = next(r["time_ms"] for r in curve if r["cores"] == 8192)
+        t16k = next(r["time_ms"] for r in curve if r["cores"] == 16384)
+        gain_small = t8k / t16k
+        curve_big = model.scaling_curve((600, 600, 600))
+        t8k_b = next(r["time_ms"] for r in curve_big if r["cores"] == 8192)
+        t16k_b = next(r["time_ms"] for r in curve_big if r["cores"] == 16384)
+        gain_big = t8k_b / t16k_b
+        assert gain_small < gain_big
+        assert gain_small < 1.55  # far from the ideal 2x
+
+    def test_parallel_efficiency_declines(self, model):
+        e2k = model.parallel_efficiency((370, 370, 370), 2048)
+        e16k = model.parallel_efficiency((370, 370, 370), 16384)
+        assert e16k < e2k <= 1.05
+
+    def test_allreduce_grows_with_cores(self, model):
+        assert model.allreduce_time(16384) > model.allreduce_time(1024)
+
+    def test_compute_shrinks_with_cores(self, model):
+        n = 600**3
+        assert model.compute_time(n, 16384) < model.compute_time(n, 1024)
+
+    def test_halo_latency_floor(self, model):
+        """At extreme rank counts the halo time hits the latency floor."""
+        t = model.halo_time((100, 100, 100), 10**6)
+        assert t >= 12 * model.spec.net_latency
+
+
+class TestSpec:
+    def test_joule_hardware(self):
+        """Paper: Xeon Gold 6148, 20-core, 2.4GHz, Omni-Path."""
+        spec = JouleSpec()
+        assert spec.cores_per_node == 40  # dual socket x 20
+        assert spec.clock_hz == 2.4e9
+        assert spec.net_bw_per_node == pytest.approx(12.5e9)  # 100 Gb/s
+
+    def test_custom_spec_respected(self):
+        slow = ClusterModel(spec=JouleSpec(mem_efficiency=0.05))
+        fast = ClusterModel(spec=JouleSpec(mem_efficiency=0.5))
+        t_slow = slow.iteration_time((600, 600, 600), 1024)
+        t_fast = fast.iteration_time((600, 600, 600), 1024)
+        assert t_slow > t_fast
+
+    def test_fp64_bytes_per_point(self):
+        from repro.perfmodel.cluster import BYTES_PER_POINT_PER_ITER_FP64
+
+        assert BYTES_PER_POINT_PER_ITER_FP64 == 44 * 8

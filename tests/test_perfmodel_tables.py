@@ -1,0 +1,168 @@
+"""Tests for Table I (op counts), Table II (SIMPLE cycles), and Fig. 1
+(machine balance)."""
+
+import pytest
+
+from repro.perfmodel import (
+    SimpleCostModel,
+    balance_table,
+    cs1_balance,
+    derive_counts,
+    measured_counts,
+    table1,
+    table2,
+)
+
+
+class TestTable1:
+    def test_totals_row(self):
+        rows = table1()
+        total = rows[-1]
+        assert total.name == "Total"
+        assert total.sp_add == 22
+        assert total.sp_mul == 22
+        assert total.mixed_hp_add == 18
+        assert total.mixed_hp_mul == 22
+        assert total.mixed_sp_add == 4
+
+    def test_grand_total_44(self):
+        total = table1()[-1]
+        assert total.total_single == 44
+        assert total.total_mixed == 44
+
+    def test_row_values_match_paper(self):
+        rows = {r.name: r for r in table1()}
+        assert (rows["Matvec"].sp_add, rows["Matvec"].sp_mul) == (12, 12)
+        assert (rows["Dot"].mixed_hp_mul, rows["Dot"].mixed_sp_add) == (4, 4)
+        assert rows["Dot"].mixed_hp_add == 0
+        assert (rows["AXPY"].mixed_hp_add, rows["AXPY"].mixed_hp_mul) == (6, 6)
+
+    def test_kernel_counts(self):
+        rows = {r.name: r for r in table1()}
+        assert rows["Matvec"].count == 2
+        assert rows["Dot"].count == 4
+        assert rows["AXPY"].count == 6
+
+    def test_derived_equals_table(self):
+        """The counts must be derivable from the kernel structure."""
+        d = derive_counts()
+        rows = {r.name: r for r in table1()}
+        assert d["matvec_mul"] == rows["Matvec"].sp_mul
+        assert d["matvec_add"] == rows["Matvec"].sp_add
+        assert d["dot_mul"] + d["axpy_mul"] == rows["Dot"].sp_mul + rows["AXPY"].sp_mul
+        assert d["total"] == 44
+
+    def test_measured_from_instrumented_solver(self):
+        m = measured_counts(iterations=4)
+        assert m["matvec_mul"] == pytest.approx(12)
+        assert m["matvec_add"] == pytest.approx(12)
+        assert m["dots_per_iteration"] == pytest.approx(4)
+
+
+class TestTable2:
+    def test_phases_present(self):
+        names = [p.name for p in table2()]
+        assert names == ["Initialization", "Momentum", "Continuity", "Field Update"]
+
+    def test_printed_totals(self):
+        totals = {p.name: p.printed_total for p in table2()}
+        assert totals["Initialization"] == (45, 64)
+        assert totals["Momentum"] == (79, 213)
+        assert totals["Continuity"] == (37, 81)
+        assert totals["Field Update"] == (4, 6)
+
+    def test_component_sums_near_printed(self):
+        """Components sum to the printed totals (the momentum low total
+        prints 79 vs a 77 component sum in the source — tolerated)."""
+        for p in table2():
+            lo, hi = p.component_total
+            plo, phi = p.printed_total
+            assert abs(lo - plo) <= 2
+            assert abs(hi - phi) <= 2
+
+    def test_sqrt_and_divide_costs(self):
+        """Momentum does one sqrt (13 cycles) and one divide (15-16)."""
+        mom = {p.name: p for p in table2()}["Momentum"]
+        assert mom.sqrt == (13, 13)
+        assert mom.divide == (15, 16)
+
+
+class TestCfdThroughput:
+    def test_paper_band_80_125(self):
+        """Paper section VI.A: 'between 80 and 125 timesteps per second'
+        for 600^3 with 15 SIMPLE iterations.  Our model's band must
+        substantially overlap."""
+        lo, hi = SimpleCostModel().timesteps_per_second_range()
+        assert lo < 125 and hi > 80
+        assert 60 < lo < hi < 160
+
+    def test_over_200x_joule(self):
+        """Paper: 'above 200 times faster than ... 16,384-core ... Joule'."""
+        assert SimpleCostModel().joule_speedup() > 200
+
+    def test_more_simple_iters_slower(self):
+        fast = SimpleCostModel(simple_iters=5).timesteps_per_second()
+        slow = SimpleCostModel(simple_iters=20).timesteps_per_second()
+        assert fast > slow
+
+    def test_continuity_budget_dominates(self):
+        """20 continuity solver iterations vs 3x5 momentum: the solver
+        share is ~58% continuity."""
+        m = SimpleCostModel()
+        assert m.continuity_solver_iters == 20
+        assert m.momentum_solver_iters == 5
+
+    def test_allreduce_inclusive_variant_slower(self):
+        base = SimpleCostModel().timesteps_per_second()
+        conservative = SimpleCostModel(include_allreduce=True).timesteps_per_second()
+        assert conservative < base
+
+    def test_microseconds_per_z_meshpoint_order(self):
+        us = SimpleCostModel().microseconds_per_z_meshpoint()
+        assert 5 < us < 40  # ~16 us/point/step at 600^3 (see module docs)
+
+
+class TestBalance:
+    def test_cs1_memory_balance_3_bytes_per_flop(self):
+        """Paper: the CS-1 'can move three bytes to and from memory for
+        every flop' — i.e. ~2.7 flops per 8-byte word."""
+        e = cs1_balance()
+        assert e.flops_per_word_memory == pytest.approx(8 / 3, rel=0.01)
+
+    def test_cs1_injection_quarter_of_flops(self):
+        e = cs1_balance()
+        assert e.flops_per_word_interconnect == pytest.approx(4.0)
+
+    def test_cs1_latency_coverage_single_digit(self):
+        e = cs1_balance()
+        assert e.flops_to_cover_memory_latency <= 8
+        assert e.flops_to_cover_network_latency <= 8
+
+    def test_conventional_systems_hundreds(self):
+        """Paper: 'In 2016 the flops to words ratios ... were in the
+        hundreds', latency coverage 10k-100k."""
+        modern = [e for e in balance_table() if 2014 <= e.year <= 2018]
+        assert modern
+        for e in modern:
+            assert e.flops_per_word_memory >= 50
+            assert e.flops_per_word_interconnect >= 300
+            assert 1e4 <= e.flops_to_cover_memory_latency <= 1e5 or \
+                   1e4 <= e.flops_to_cover_network_latency <= 1e5
+
+    def test_cs1_returns_to_vector_era_balance(self):
+        """Fig. 1's story: the CS-1 sits at the desirable bottom, ~two
+        orders of magnitude better balanced than its contemporaries and
+        back in the vector-supercomputer regime."""
+        table = balance_table()
+        cs1 = table[-1]
+        assert cs1.system.startswith("Cerebras")
+        contemporaries = [e for e in table if e.year >= 2014 and e is not cs1]
+        for e in contemporaries:
+            assert e.flops_per_word_memory / cs1.flops_per_word_memory > 20
+        vector_era = min(table, key=lambda e: e.year)
+        assert cs1.flops_per_word_memory < 4 * vector_era.flops_per_word_memory
+
+    def test_trend_worsens_over_time(self):
+        history = [e for e in balance_table() if not e.system.startswith("Cerebras")]
+        ratios = [e.flops_per_word_memory for e in sorted(history, key=lambda e: e.year)]
+        assert ratios == sorted(ratios)

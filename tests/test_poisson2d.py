@@ -1,0 +1,85 @@
+"""Tests for the 2D 9-point problem generators (the §IV.2 workload)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import block_spmv
+from repro.kernels.spmv2d_des import run_spmv2d_des
+from repro.problems import convection_diffusion9, poisson9, poisson9_system
+from repro.solver import bicgstab, cg
+
+RNG = np.random.default_rng(107)
+
+
+class TestPoisson9:
+    def test_spd(self):
+        A = poisson9((6, 6)).to_csr().toarray()
+        np.testing.assert_allclose(A, A.T, atol=1e-13)
+        assert np.all(np.linalg.eigvalsh(A) > 0)
+
+    def test_interior_row_sum_zero(self):
+        op = poisson9((7, 7))
+        rowsum = np.asarray(op.to_csr().sum(axis=1)).reshape(op.shape)
+        assert abs(rowsum[3, 3]) < 1e-13
+
+    def test_fourth_order_on_quadratic(self):
+        """The Mehrstellen stencil is exact for quadratics away from
+        boundaries: lap(x^2 + y^2) = 4."""
+        n = 10
+        h = 1.0 / n
+        op = poisson9((n, n), spacing=h)
+        xs = (np.arange(n) * h)[:, None]
+        ys = (np.arange(n) * h)[None, :]
+        v = xs**2 + ys**2
+        u = op.apply(v)
+        np.testing.assert_allclose(u[3:-3, 3:-3], -4.0, rtol=1e-10)
+
+    def test_cg_converges(self):
+        sys_ = poisson9_system((10, 10), source="random")
+        res = cg(sys_.operator, sys_.b, rtol=1e-10, maxiter=600)
+        assert res.converged
+
+    def test_unknown_source(self):
+        with pytest.raises(ValueError):
+            poisson9_system((6, 6), source="bad")
+
+    def test_block_spmv_consistent(self):
+        """The §IV.2 output-halo kernel handles the corner legs."""
+        op = poisson9((8, 8))
+        v = RNG.standard_normal((8, 8))
+        np.testing.assert_allclose(block_spmv(op, v, (4, 4)), op.apply(v),
+                                   rtol=1e-12)
+
+
+class TestConvectionDiffusion9:
+    def test_m_matrix(self):
+        op = convection_diffusion9((8, 8), velocity=(2.0, -1.0),
+                                   time_coefficient=0.5)
+        off = sum(np.abs(op.coeffs[n]) for n in op.coeffs if n != "diag")
+        assert np.all(op.coeffs["diag"] >= off - 1e-12)
+
+    def test_nonsymmetric(self):
+        A = convection_diffusion9((6, 6), velocity=(3.0, 0.0)).to_csr()
+        assert abs(A - A.T).max() > 1e-8
+
+    def test_symmetric_without_velocity(self):
+        A = convection_diffusion9((6, 6), velocity=(0.0, 0.0)).to_csr()
+        assert abs(A - A.T).max() < 1e-12
+
+    def test_solves_preconditioned_mixed(self):
+        op = convection_diffusion9((10, 10), time_coefficient=2.0)
+        b = RNG.standard_normal((10, 10))
+        pre, bp, _ = op.jacobi_precondition(b)
+        res = bicgstab(pre, bp, precision="mixed", rtol=5e-3, maxiter=100)
+        assert res.converged
+
+    def test_runs_on_2d_des_kernel(self):
+        """The full loop: a 2D physics operator through the §IV.2 tile
+        program."""
+        op = convection_diffusion9((8, 8), time_coefficient=1.0)
+        pre, _, _ = op.jacobi_precondition()
+        v = 0.1 * RNG.standard_normal((8, 8))
+        u, _ = run_spmv2d_des(pre, v, (4, 4))
+        ref = pre.apply(np.asarray(v, np.float16).astype(np.float64))
+        scale = np.max(np.abs(ref)) + 1.0
+        assert np.max(np.abs(u - ref)) < 16 * 2.0**-11 * scale

@@ -1,0 +1,194 @@
+"""Tests for repro.precision.ops: the mixed-precision kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.precision import (
+    Precision,
+    as_storage,
+    axpy,
+    dot,
+    dot_fp16_fp32,
+    fmac,
+    norm2,
+    scale,
+    tree_sum,
+    vadd,
+    vmul,
+    vsub,
+    xpay,
+)
+
+RNG = np.random.default_rng(7)
+
+finite_f = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+small_arrays = hnp.arrays(np.float64, st.integers(1, 64), elements=finite_f)
+
+
+class TestAsStorage:
+    def test_rounds_to_fp16(self):
+        x = np.array([1.0 + 2.0**-12])  # not representable in fp16
+        out = as_storage(x, "mixed")
+        assert out.dtype == np.float16
+        assert float(out[0]) == 1.0
+
+    def test_no_copy_when_already_storage(self):
+        x = np.ones(4, dtype=np.float16)
+        assert as_storage(x, "mixed") is x
+
+
+class TestAxpy:
+    def test_double_exact(self):
+        x = RNG.standard_normal(32)
+        y = RNG.standard_normal(32)
+        np.testing.assert_allclose(axpy(2.5, x, y), y + 2.5 * x)
+
+    def test_fp16_rounding(self):
+        """Each fp16 op rounds: result must be representable in fp16."""
+        x = RNG.standard_normal(32).astype(np.float16)
+        y = RNG.standard_normal(32).astype(np.float16)
+        out = axpy(0.333, x, y, "mixed")
+        assert out.dtype == np.float16
+        np.testing.assert_array_equal(out, out.astype(np.float16))
+
+    def test_fp16_scalar_is_rounded(self):
+        """The scalar enters at fp16 in the multiply."""
+        x = np.ones(4, dtype=np.float16)
+        y = np.zeros(4, dtype=np.float16)
+        a = 1.0 + 2.0**-13  # rounds to 1.0 in fp16
+        out = axpy(a, x, y, "mixed")
+        np.testing.assert_array_equal(out, np.ones(4, dtype=np.float16))
+
+    def test_out_parameter(self):
+        x = np.ones(8, dtype=np.float16)
+        y = np.ones(8, dtype=np.float16)
+        out = np.empty(8, dtype=np.float16)
+        ret = axpy(2.0, x, y, "mixed", out=out)
+        assert ret is out
+        np.testing.assert_array_equal(out, np.full(8, 3.0, dtype=np.float16))
+
+    def test_xpay_matches_definition(self):
+        x = RNG.standard_normal(16)
+        y = RNG.standard_normal(16)
+        np.testing.assert_allclose(xpay(x, 3.0, y), x + 3.0 * y)
+
+
+class TestElementwise:
+    def test_vadd_vsub_vmul_double(self):
+        x = RNG.standard_normal(16)
+        y = RNG.standard_normal(16)
+        np.testing.assert_allclose(vadd(x, y), x + y)
+        np.testing.assert_allclose(vsub(x, y), x - y)
+        np.testing.assert_allclose(vmul(x, y), x * y)
+
+    def test_scale_fp16(self):
+        x = np.full(4, 3.0, dtype=np.float16)
+        out = scale(2.0, x, "mixed")
+        assert out.dtype == np.float16
+        np.testing.assert_array_equal(out, np.full(4, 6.0, dtype=np.float16))
+
+
+class TestFmac:
+    def test_fp16_product_not_pre_rounded(self):
+        """FMAC adds the *exact* product: pick a, b whose fp16 product
+        rounds away from the exact value and check fmac keeps the exact
+        product through the accumulate."""
+        a = np.array([np.float16(1.0009765625)])  # 1 + 2^-10
+        b = np.array([np.float16(1.0009765625)])
+        acc = np.array([np.float16(0.0)])
+        exact = float(a[0]) * float(b[0])
+        out = fmac(acc, a, b, "mixed")
+        # result is the fp16 rounding of the exact product (not of the
+        # doubly-rounded one) -- for this value both agree; the stronger
+        # check is against fp32 intermediate:
+        assert float(out[0]) == np.float16(np.float32(exact))
+
+    def test_double_fmac(self):
+        acc = RNG.standard_normal(8)
+        a = RNG.standard_normal(8)
+        b = RNG.standard_normal(8)
+        np.testing.assert_allclose(fmac(acc, a, b), acc + a * b)
+
+
+class TestDot:
+    def test_mixed_dot_uses_fp32_accumulation(self):
+        """Summing n copies of 1 + eps16: a pure fp16 accumulator loses
+        the epsilons (and stagnates at 2048); the mixed dot keeps them."""
+        n = 4096
+        x = np.full(n, 1.0, dtype=np.float16)
+        y = np.full(n, 1.0, dtype=np.float16)
+        d_mixed = dot(x, y, "mixed")
+        d_half = dot(x, y, "half")
+        assert d_mixed == pytest.approx(n, rel=1e-6)
+        assert d_half == 2048.0  # fp16 accumulation stagnates at 2048
+
+    def test_half_dot_stagnation(self):
+        """fp16 accumulator cannot exceed 2048 when adding ones (adding
+        1.0 to 2048 rounds back to 2048)."""
+        n = 4096
+        x = np.ones(n, dtype=np.float16)
+        assert dot(x, x, "half") == 2048.0
+
+    def test_dot_fp16_fp32_instruction(self):
+        x = RNG.standard_normal(128).astype(np.float16)
+        y = RNG.standard_normal(128).astype(np.float16)
+        got = dot_fp16_fp32(x, y)
+        ref = np.dot(x.astype(np.float64), y.astype(np.float64))
+        assert got == pytest.approx(ref, rel=1e-5)
+        assert isinstance(got, np.float32)
+
+    def test_double_dot_exactish(self):
+        x = RNG.standard_normal(100)
+        y = RNG.standard_normal(100)
+        assert dot(x, y, "double") == pytest.approx(np.dot(x, y))
+
+    @given(small_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_mixed_dot_error_bound(self, x):
+        """|mixed_dot - exact_dot_of_fp16_values| <= n * eps32 * sum|prod|."""
+        xh = x.astype(np.float16)
+        exact = np.dot(xh.astype(np.float64), xh.astype(np.float64))
+        got = dot(xh, xh, "mixed")
+        bound = max(len(x), 1) * 2**-24 * np.sum(np.abs(xh.astype(np.float64)) ** 2)
+        assert abs(got - exact) <= bound + 1e-12
+
+    def test_norm2(self):
+        x = np.array([3.0, 4.0])
+        assert norm2(x, "double") == pytest.approx(5.0)
+
+    def test_norm2_nonnegative_under_rounding(self):
+        x = (RNG.standard_normal(64) * 1e-4).astype(np.float16)
+        assert norm2(x, "mixed") >= 0.0
+
+
+class TestTreeSum:
+    def test_matches_plain_sum_fp64(self):
+        vals = RNG.standard_normal((6, 8))
+        got = tree_sum(vals, dtype=np.float64)
+        assert got == pytest.approx(vals.sum(), rel=1e-12)
+
+    def test_fp32_accuracy(self):
+        vals = RNG.standard_normal((10, 10)).astype(np.float32)
+        got = tree_sum(vals, dtype=np.float32)
+        assert got == pytest.approx(float(vals.astype(np.float64).sum()), abs=1e-4)
+
+    def test_1d_input_treated_as_row(self):
+        vals = np.arange(10.0)
+        assert tree_sum(vals, dtype=np.float64) == pytest.approx(45.0)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 8), st.integers(1, 8)),
+            elements=finite_f,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tree_sum_property(self, vals):
+        got = tree_sum(vals, dtype=np.float64)
+        assert got == pytest.approx(vals.sum(), rel=1e-10, abs=1e-9)

@@ -1,0 +1,69 @@
+"""Tests for repro.precision.types: the precision taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.precision import (
+    Precision,
+    accumulate_dtype,
+    machine_epsilon,
+    spec_for,
+    storage_dtype,
+)
+
+
+class TestPrecisionParse:
+    def test_parse_strings(self):
+        assert Precision.parse("mixed") is Precision.MIXED
+        assert Precision.parse("HALF") is Precision.HALF
+        assert Precision.parse("Single") is Precision.SINGLE
+        assert Precision.parse("double") is Precision.DOUBLE
+
+    def test_parse_enum_passthrough(self):
+        assert Precision.parse(Precision.MIXED) is Precision.MIXED
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown precision"):
+            Precision.parse("quad")
+
+
+class TestSpecs:
+    def test_mixed_spec_matches_paper(self):
+        """Mixed mode: fp16 storage/elementwise, fp32 accumulate/scalar."""
+        spec = spec_for(Precision.MIXED)
+        assert spec.storage == np.float16
+        assert spec.elementwise == np.float16
+        assert spec.accumulate == np.float32
+        assert spec.scalar == np.float32
+        assert spec.bytes_per_word == 2
+
+    def test_half_spec_is_all_fp16(self):
+        spec = spec_for("half")
+        assert spec.accumulate == np.float16
+        assert spec.scalar == np.float16
+
+    def test_single_and_double(self):
+        assert spec_for("single").storage == np.float32
+        assert spec_for("double").storage == np.float64
+        assert spec_for("double").bytes_per_word == 8
+
+    def test_storage_and_accumulate_shortcuts(self):
+        assert storage_dtype("mixed") == np.float16
+        assert accumulate_dtype("mixed") == np.float32
+
+    def test_epsilon_fp16(self):
+        """Paper section VI.B: 'machine precision is about 1e-3' in mixed."""
+        eps = machine_epsilon("mixed")
+        assert eps == pytest.approx(2.0**-11)
+        assert 1e-4 < eps < 1e-3
+
+    def test_accumulate_epsilon(self):
+        spec = spec_for("mixed")
+        assert spec.accumulate_epsilon == pytest.approx(2.0**-24)
+
+    def test_epsilon_ordering(self):
+        assert (
+            machine_epsilon("double")
+            < machine_epsilon("single")
+            < machine_epsilon("mixed")
+        )

@@ -1,0 +1,80 @@
+"""Cross-validation against SciPy's sparse solvers.
+
+Independent-oracle tests: our stencil operators assemble to CSR, and
+SciPy's own Krylov implementations must agree with ours about the
+solutions (not the iteration counts — implementations differ in
+stabilization details, which is fine and expected).
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.problems import (
+    convection_diffusion_system,
+    momentum_system,
+    poisson_system,
+    stretched_system,
+)
+from repro.solver import bicgstab, cg
+
+
+def _scipy_solve(sys_, solver, rtol=1e-10):
+    A = sys_.operator.to_csr()
+    b = sys_.b.ravel()
+    x, info = solver(A, b, rtol=rtol, maxiter=2000)
+    assert info == 0, f"scipy solver failed with info={info}"
+    return x.reshape(sys_.shape)
+
+
+class TestAgainstScipy:
+    def test_bicgstab_agrees_on_nonsymmetric(self):
+        sys_ = convection_diffusion_system((8, 8, 8))
+        ours = bicgstab(sys_.operator, sys_.b, rtol=1e-12, maxiter=1000)
+        theirs = _scipy_solve(sys_, spla.bicgstab, rtol=1e-12)
+        assert ours.converged
+        np.testing.assert_allclose(ours.x, theirs, rtol=1e-6, atol=1e-9)
+
+    def test_bicgstab_agrees_on_momentum_system(self):
+        sys_ = momentum_system((8, 8, 8))
+        ours = bicgstab(sys_.operator, sys_.b, rtol=1e-12, maxiter=500)
+        theirs = _scipy_solve(sys_, spla.bicgstab, rtol=1e-12)
+        np.testing.assert_allclose(ours.x, theirs, rtol=1e-6, atol=1e-9)
+
+    def test_cg_agrees_on_spd(self):
+        sys_ = poisson_system((7, 7, 7), source="random")
+        ours = cg(sys_.operator, sys_.b, rtol=1e-12, maxiter=1000)
+        theirs = _scipy_solve(sys_, spla.cg, rtol=1e-12)
+        np.testing.assert_allclose(ours.x, theirs, rtol=1e-6, atol=1e-9)
+
+    def test_direct_solve_agreement(self):
+        """The strongest oracle: a sparse direct solve."""
+        sys_ = stretched_system((6, 6, 6), ratio=1.3)
+        ours = bicgstab(sys_.operator, sys_.b, rtol=1e-13, maxiter=2000)
+        direct = spla.spsolve(sys_.operator.to_csr().tocsc(),
+                              sys_.b.ravel()).reshape(sys_.shape)
+        assert ours.converged
+        np.testing.assert_allclose(ours.x, direct, rtol=1e-7, atol=1e-10)
+
+    def test_wafer_solution_near_direct(self):
+        """Mixed-precision wafer solve lands within fp16 distance of the
+        exact (direct) solution."""
+        from repro.solver import WaferBiCGStab
+
+        sys_ = momentum_system((8, 8, 8))
+        direct = spla.spsolve(sys_.operator.to_csr().tocsc(),
+                              sys_.b.ravel()).reshape(sys_.shape)
+        wafer = WaferBiCGStab().solve(sys_, rtol=1e-3, maxiter=60)
+        scale = np.max(np.abs(direct)) + 1e-30
+        assert np.max(np.abs(wafer.x - direct)) / scale < 0.02
+
+    def test_operator_norm_consistency(self):
+        """||A v|| via our apply equals ||A v|| via CSR for random v."""
+        sys_ = convection_diffusion_system((6, 6, 6))
+        rng = np.random.default_rng(0)
+        A = sys_.operator.to_csr()
+        for _ in range(5):
+            v = rng.standard_normal(sys_.shape)
+            ours = sys_.operator.apply(v).ravel()
+            theirs = A @ v.ravel()
+            np.testing.assert_allclose(ours, theirs, rtol=1e-12)

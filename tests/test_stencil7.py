@@ -1,0 +1,148 @@
+"""Tests for the 7-point stencil operator (diagonal storage vs CSR truth)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.precision import Precision
+from repro.problems import Stencil7
+
+RNG = np.random.default_rng(13)
+
+shapes = st.tuples(st.integers(1, 5), st.integers(1, 5), st.integers(1, 6))
+
+
+class TestConstruction:
+    def test_missing_diag_defaults_to_identity(self):
+        op = Stencil7({"xp": np.zeros((2, 2, 2))})
+        assert op.has_unit_diagonal
+        v = RNG.standard_normal((2, 2, 2))
+        np.testing.assert_array_equal(op.apply(v), v)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            Stencil7({"diag": np.ones((2, 2, 2)), "xp": np.zeros((3, 2, 2))})
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown stencil"):
+            Stencil7({"diag": np.ones((2, 2, 2)), "qq": np.zeros((2, 2, 2))})
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Stencil7({})
+
+    def test_non_3d_raises(self):
+        with pytest.raises(ValueError, match="3D"):
+            Stencil7({"diag": np.ones((2, 2))})
+
+    def test_n(self):
+        op = Stencil7.identity((3, 4, 5))
+        assert op.n == 60
+
+    def test_validate_catches_boundary_coupling(self):
+        c = np.zeros((3, 3, 3))
+        c[-1, 0, 0] = 1.0  # xp leg on the last x-plane: couples off-mesh
+        op = Stencil7({"diag": np.ones((3, 3, 3)), "xp": c})
+        with pytest.raises(ValueError, match="boundary"):
+            op.validate()
+
+    def test_from_random_validates(self):
+        op = Stencil7.from_random((4, 4, 4), rng=RNG)
+        op.validate()  # must not raise
+
+    def test_from_random_symmetric(self):
+        op = Stencil7.from_random((3, 4, 5), rng=RNG, symmetric=True)
+        A = op.to_csr()
+        diff = abs(A - A.T)
+        assert diff.max() < 1e-12
+
+
+class TestApplyVsCSR:
+    def test_random_operator(self):
+        op = Stencil7.from_random((4, 5, 6), rng=RNG)
+        v = RNG.standard_normal(op.shape)
+        u = op.apply(v)
+        ref = (op.to_csr() @ v.ravel()).reshape(op.shape)
+        np.testing.assert_allclose(u, ref, rtol=1e-13, atol=1e-13)
+
+    def test_flat_input_round_trip(self):
+        op = Stencil7.from_random((3, 3, 3), rng=RNG)
+        v = RNG.standard_normal(27)
+        u = op.apply(v)
+        assert u.shape == (27,)
+        np.testing.assert_allclose(u, op.to_csr() @ v, rtol=1e-13)
+
+    def test_out_parameter(self):
+        op = Stencil7.from_random((3, 3, 4), rng=RNG)
+        v = RNG.standard_normal(op.shape)
+        out = np.empty(op.shape)
+        ret = op.apply(v, out=out)
+        assert ret.base is out or ret is out
+        np.testing.assert_allclose(out, op.apply(v))
+
+    def test_matmul_operator(self):
+        op = Stencil7.from_random((3, 3, 3), rng=RNG)
+        v = RNG.standard_normal(op.shape)
+        np.testing.assert_array_equal(op @ v, op.apply(v))
+
+    @given(shapes, st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_apply_equals_csr_property(self, shape, seed):
+        rng = np.random.default_rng(seed)
+        op = Stencil7.from_random(shape, rng=rng)
+        v = rng.standard_normal(shape)
+        u = op.apply(v)
+        ref = (op.to_csr() @ v.ravel()).reshape(shape)
+        np.testing.assert_allclose(u, ref, rtol=1e-12, atol=1e-12)
+
+    def test_single_point_mesh(self):
+        op = Stencil7({"diag": np.full((1, 1, 1), 2.0)})
+        assert op.apply(np.array([[[3.0]]]))[0, 0, 0] == 6.0
+
+
+class TestPrecisionModes:
+    def test_fp16_apply_rounds(self):
+        op = Stencil7.from_random((3, 3, 4), rng=RNG)
+        pre, _, _ = op.jacobi_precondition()
+        v = (0.1 * RNG.standard_normal(op.shape)).astype(np.float16)
+        u16 = pre.apply(v, precision="mixed")
+        assert u16.dtype == np.float16
+        u64 = pre.apply(v.astype(np.float64))
+        # fp16 arithmetic error is bounded by a few ulps of the magnitudes.
+        assert np.max(np.abs(u16.astype(np.float64) - u64)) < 0.01
+
+    def test_rounded_copy(self):
+        op = Stencil7.from_random((2, 2, 2), rng=RNG)
+        r = op.rounded(Precision.MIXED)
+        for name in op.coeffs:
+            np.testing.assert_array_equal(
+                r.coeffs[name], op.coeffs[name].astype(np.float16).astype(np.float64)
+            )
+
+
+class TestJacobiPreconditioning:
+    def test_unit_diagonal_after(self):
+        op = Stencil7.from_random((3, 4, 5), rng=RNG)
+        pre, _, dinv = op.jacobi_precondition()
+        assert pre.has_unit_diagonal
+        np.testing.assert_allclose(dinv * op.coeffs["diag"], 1.0)
+
+    def test_solution_preserved(self):
+        op = Stencil7.from_random((3, 3, 3), rng=RNG)
+        x = RNG.standard_normal(op.shape)
+        b = op.apply(x)
+        pre, bp, _ = op.jacobi_precondition(b)
+        np.testing.assert_allclose(pre.apply(x), bp, rtol=1e-12)
+
+    def test_zero_diagonal_raises(self):
+        c = np.ones((2, 2, 2))
+        c[0, 0, 0] = 0.0
+        op = Stencil7({"diag": c})
+        with pytest.raises(ZeroDivisionError):
+            op.jacobi_precondition()
+
+    def test_no_rhs_returns_none(self):
+        op = Stencil7.from_random((2, 2, 2), rng=RNG)
+        _, bp, _ = op.jacobi_precondition()
+        assert bp is None

@@ -1,0 +1,99 @@
+"""Tests for the 9-point 2D stencil operator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.problems import Stencil9
+
+RNG = np.random.default_rng(17)
+
+shapes2 = st.tuples(st.integers(1, 6), st.integers(1, 6))
+
+
+class TestConstruction:
+    def test_defaults(self):
+        op = Stencil9({"e": np.zeros((3, 3))})
+        assert op.has_unit_diagonal
+        assert op.n == 9
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError, match="2D"):
+            Stencil9({"diag": np.ones((2, 2, 2))})
+
+    def test_unknown_leg_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Stencil9({"diag": np.ones((2, 2)), "zz": np.zeros((2, 2))})
+
+    def test_validate_diagonal_leg_boundary(self):
+        c = np.zeros((3, 3))
+        c[-1, -1] = 1.0  # ne corner couples off-mesh
+        op = Stencil9({"diag": np.ones((3, 3)), "ne": c})
+        with pytest.raises(ValueError, match="boundary"):
+            op.validate()
+
+
+class TestApplyVsCSR:
+    def test_random(self):
+        op = Stencil9.from_random((5, 6), rng=RNG)
+        v = RNG.standard_normal(op.shape)
+        np.testing.assert_allclose(
+            op.apply(v), (op.to_csr() @ v.ravel()).reshape(op.shape), rtol=1e-13
+        )
+
+    def test_corner_coupling_included(self):
+        """The diagonal (corner) legs distinguish 9-point from 5-point."""
+        c = np.zeros((3, 3))
+        c[0, 0] = 2.0
+        op = Stencil9({"diag": np.ones((3, 3)), "ne": c})
+        v = np.zeros((3, 3))
+        v[1, 1] = 1.0
+        u = op.apply(v)
+        assert u[0, 0] == 2.0  # picked up from the (1,1) neighbour
+
+    @given(shapes2, st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_apply_equals_csr_property(self, shape, seed):
+        rng = np.random.default_rng(seed)
+        op = Stencil9.from_random(shape, rng=rng)
+        v = rng.standard_normal(shape)
+        np.testing.assert_allclose(
+            op.apply(v), (op.to_csr() @ v.ravel()).reshape(shape),
+            rtol=1e-12, atol=1e-12,
+        )
+
+    def test_matmul(self):
+        op = Stencil9.from_random((4, 4), rng=RNG)
+        v = RNG.standard_normal((4, 4))
+        np.testing.assert_array_equal(op @ v, op.apply(v))
+
+    def test_flat_input(self):
+        op = Stencil9.from_random((3, 4), rng=RNG)
+        v = RNG.standard_normal(12)
+        assert op.apply(v).shape == (12,)
+
+
+class TestJacobi:
+    def test_unit_diagonal(self):
+        op = Stencil9.from_random((4, 4), rng=RNG)
+        pre, _, _ = op.jacobi_precondition()
+        assert pre.has_unit_diagonal
+
+    def test_solution_preserved(self):
+        op = Stencil9.from_random((4, 5), rng=RNG)
+        x = RNG.standard_normal(op.shape)
+        b = op.apply(x)
+        pre, bp, _ = op.jacobi_precondition(b)
+        np.testing.assert_allclose(pre.apply(x), bp, rtol=1e-12)
+
+    def test_zero_diag_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Stencil9({"diag": np.zeros((2, 2))}).jacobi_precondition()
+
+    def test_fp16_apply(self):
+        op = Stencil9.from_random((4, 4), rng=RNG)
+        pre, _, _ = op.jacobi_precondition()
+        v = (0.1 * RNG.standard_normal((4, 4))).astype(np.float16)
+        u = pre.apply(v, precision="mixed")
+        assert u.dtype == np.float16

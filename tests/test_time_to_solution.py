@@ -1,0 +1,90 @@
+"""Tests for the time-to-solution estimator."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import SolveCostEstimate, TimeToSolution
+from repro.perfmodel.time_to_solution import MIXED_PLATEAU
+
+
+@pytest.fixture(scope="module")
+def tts():
+    return TimeToSolution()
+
+
+GEOM = [1.0 * 0.3**k for k in range(10)]  # clean geometric history
+
+
+class TestWaferEstimate:
+    def test_plain_mixed_above_plateau(self, tts):
+        est = tts.wafer_estimate(GEOM, 5e-2, (600, 595, 1536))
+        assert est.machine == "CS-1 (mixed)"
+        assert est.refinement_outer == 0
+        assert est.feasible
+        assert est.seconds == pytest.approx(est.iterations * 28.1e-6, rel=0.02)
+
+    def test_refinement_below_plateau(self, tts):
+        est = tts.wafer_estimate(GEOM, 1e-10, (600, 595, 1536))
+        assert est.machine == "CS-1 (refined)"
+        assert est.refinement_outer == 5  # (1e-2)^5 = 1e-10
+        assert est.feasible
+
+    def test_refinement_costs_more_than_plain(self, tts):
+        plain = tts.wafer_estimate(GEOM, 5e-2, (600, 595, 1536))
+        refined = tts.wafer_estimate(GEOM, 1e-10, (600, 595, 1536))
+        assert refined.seconds > plain.seconds
+
+    def test_stagnant_history_infeasible(self, tts):
+        est = tts.wafer_estimate([0.9] * 6, 1e-1, (600, 595, 1536))
+        assert not est.feasible
+
+
+class TestClusterEstimate:
+    def test_scales_with_iterations(self, tts):
+        e1 = tts.cluster_estimate(GEOM, 1e-2, (600, 600, 600))
+        e2 = tts.cluster_estimate(GEOM, 1e-8, (600, 600, 600))
+        assert e2.iterations > e1.iterations
+        assert e2.seconds > e1.seconds
+
+    def test_core_count_matters(self, tts):
+        slow = tts.cluster_estimate(GEOM, 1e-6, (600, 600, 600), cores=1024)
+        fast = tts.cluster_estimate(GEOM, 1e-6, (600, 600, 600), cores=16384)
+        assert slow.seconds > fast.seconds
+
+
+class TestCompare:
+    def test_speedup_above_plateau_is_headline(self, tts):
+        out = tts.compare(GEOM, 5e-2, (600, 595, 1536), (600, 600, 600))
+        assert out["speedup"] == pytest.approx(218, rel=0.05)
+
+    def test_refinement_halves_the_gap_not_the_win(self, tts):
+        """Below the plateau the wafer pays the refinement tax but still
+        wins by two orders of magnitude."""
+        out = tts.compare(GEOM, 1e-10, (600, 595, 1536), (600, 600, 600))
+        assert out["speedup"] is not None
+        assert 20 < out["speedup"] < 218
+
+    def test_infeasible_speedup_is_none(self, tts):
+        out = tts.compare([0.9] * 6, 1e-8, (600, 595, 1536))
+        assert out["speedup"] is None
+
+    def test_rate_reported(self, tts):
+        out = tts.compare(GEOM, 1e-2, (600, 595, 1536))
+        assert out["rate"] == pytest.approx(0.3, rel=1e-6)
+
+    def test_plateau_constant_documented(self):
+        assert MIXED_PLATEAU == pytest.approx(1e-2)
+
+
+class TestWithRealSolve:
+    def test_end_to_end(self, tts):
+        from repro.problems import momentum_system
+        from repro.solver import bicgstab
+
+        sys_ = momentum_system((12, 12, 16))
+        res = bicgstab(sys_.operator, sys_.b, rtol=1e-8, maxiter=200)
+        out = tts.compare(res.residuals, 1e-6, (600, 595, 1536),
+                          (600, 600, 600))
+        assert out["wafer"].feasible
+        assert out["cluster"].feasible
+        assert out["speedup"] > 10

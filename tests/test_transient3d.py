@@ -1,0 +1,64 @@
+"""Tests for the transient form of the 3D SIMPLE solver."""
+
+import numpy as np
+import pytest
+
+from repro.cfd import FlowField3D, SimpleSolver3D, StaggeredMesh3D
+
+
+def _solver(n=8):
+    return SimpleSolver3D(StaggeredMesh3D(n, n, n), viscosity=0.02)
+
+
+class TestTransient3D:
+    def test_dt_strengthens_diagonal_all_components(self):
+        s = _solver()
+        f = FlowField3D(s.mesh)
+        for steady_fn in (s._u_system, s._v_system, s._w_system):
+            A0, _, _ = steady_fn(f)
+            A1, _, _ = steady_fn(f, dt=0.01)
+            assert np.all(A1.coeffs["diag"] > A0.coeffs["diag"])
+
+    def test_inertia_couples_to_old_field(self):
+        s = _solver()
+        f = FlowField3D(s.mesh)
+        old = FlowField3D(s.mesh)
+        old.u[1:-1] = 0.25
+        _, b0, _ = s._u_system(f, dt=0.01, old=f)
+        _, b1, _ = s._u_system(f, dt=0.01, old=old)
+        a0 = s.mesh.dx * s.mesh.dy * s.mesh.dz / 0.01
+        np.testing.assert_allclose(b1 - b0, a0 * 0.25)
+
+    def test_spinup_energy_monotone(self):
+        s = _solver(6)
+        f = FlowField3D(s.mesh)
+        ke = [f.kinetic_energy()]
+        for _ in range(8):
+            old = f.copy()
+            for _ in range(6):  # SIMPLE inner iterations per step
+                f, _, _ = s.iterate(f, dt=0.05, old=old)
+            ke.append(f.kinetic_energy())
+        assert ke[0] == 0.0
+        assert all(b >= a - 1e-12 for a, b in zip(ke[:5], ke[1:6]))
+        assert ke[-1] > 0
+
+    def test_transient_approaches_steady(self):
+        steady = _solver(6).solve(max_outer=120, tol=1e-3)
+        s = _solver(6)
+        f = FlowField3D(s.mesh)
+        for _ in range(25):
+            old = f.copy()
+            for _ in range(8):
+                f, _, _ = s.iterate(f, dt=0.3, old=old)
+        su, tu = steady.field.u, f.u
+        scale = np.abs(su).max()
+        assert np.abs(su - tu).max() / scale < 0.2
+
+    def test_steady_path_unchanged(self):
+        """dt=None must reproduce the original steady iterate exactly."""
+        s1 = _solver(6)
+        s2 = _solver(6)
+        f1, c1, _ = s1.iterate(FlowField3D(s1.mesh))
+        f2, c2, _ = s2.iterate(FlowField3D(s2.mesh), dt=None)
+        np.testing.assert_array_equal(f1.u, f2.u)
+        assert c1 == c2

@@ -1,0 +1,104 @@
+"""Tests for the transient SIMPLE solver (time-accurate mode)."""
+
+import numpy as np
+import pytest
+
+from repro.cfd import (
+    FlowField,
+    StaggeredMesh2D,
+    TransientSimpleSolver,
+    lid_driven_cavity,
+    u_momentum_system,
+)
+
+
+def _transient(n=12, re=100.0, dt=0.05, iters=6):
+    steady = lid_driven_cavity(n=n, reynolds=re)
+    return TransientSimpleSolver(steady, dt=dt, simple_iters_per_step=iters)
+
+
+class TestTimeTermAssembly:
+    def test_dt_strengthens_diagonal(self):
+        m = StaggeredMesh2D(8, 8)
+        f = FlowField(m)
+        A0, _, _ = u_momentum_system(m, f, mu=0.01, u_lid=1.0)
+        A1, _, _ = u_momentum_system(m, f, mu=0.01, u_lid=1.0, dt=0.01)
+        assert np.all(A1.coeffs["diag"] > A0.coeffs["diag"])
+
+    def test_inertia_couples_to_old_field(self):
+        m = StaggeredMesh2D(8, 8)
+        f = FlowField(m)
+        old = FlowField(m)
+        old.u[1:-1, :] = 0.5
+        _, b0, _ = u_momentum_system(m, f, mu=0.01, u_lid=1.0, dt=0.01,
+                                     u_old=f.u)
+        _, b1, _ = u_momentum_system(m, f, mu=0.01, u_lid=1.0, dt=0.01,
+                                     u_old=old.u)
+        a0 = m.dx * m.dy / 0.01
+        np.testing.assert_allclose(b1 - b0, a0 * 0.5)
+
+    def test_smaller_dt_larger_term(self):
+        m = StaggeredMesh2D(8, 8)
+        f = FlowField(m)
+        A_a, _, _ = u_momentum_system(m, f, mu=0.01, u_lid=1.0, dt=0.1)
+        A_b, _, _ = u_momentum_system(m, f, mu=0.01, u_lid=1.0, dt=0.01)
+        assert np.all(A_b.coeffs["diag"] > A_a.coeffs["diag"])
+
+
+class TestTransientRun:
+    @pytest.fixture(scope="class")
+    def spinup(self):
+        return _transient().run(n_steps=20)
+
+    def test_kinetic_energy_grows_from_rest(self, spinup):
+        """Impulsively started lid: energy must grow monotonically in
+        the early spin-up."""
+        ke = spinup.kinetic_energy_history
+        assert ke[0] == 0.0
+        assert all(b >= a - 1e-12 for a, b in zip(ke[:10], ke[1:11]))
+        assert ke[-1] > 0
+
+    def test_growth_saturates(self, spinup):
+        """Energy injection slows as the flow approaches steady state."""
+        ke = spinup.kinetic_energy_history
+        early = ke[3] - ke[1]
+        late = ke[-1] - ke[-3]
+        assert late < early
+
+    def test_walls_remain_impermeable(self, spinup):
+        f = spinup.field
+        assert np.all(f.u[0, :] == 0) and np.all(f.u[-1, :] == 0)
+        assert np.all(f.v[:, 0] == 0) and np.all(f.v[:, -1] == 0)
+
+    def test_approaches_steady_solution(self):
+        """Long transient ~ steady SIMPLE solution (coarse tolerance —
+        different relaxation paths)."""
+        steady = lid_driven_cavity(n=12, reynolds=100.0)
+        s_res = steady.solve(max_outer=300, tol=1e-5)
+        t_res = _transient(n=12, dt=0.2, iters=10).run(n_steps=40)
+        su = s_res.field.u
+        tu = t_res.field.u
+        scale = np.abs(su).max()
+        assert np.abs(su - tu).max() / scale < 0.15
+
+    def test_summary(self, spinup):
+        assert "timesteps" in spinup.summary()
+
+    def test_mass_conserved_each_step(self, spinup):
+        assert spinup.continuity_residuals[-1] < 0.05
+
+
+class TestValidation:
+    def test_bad_dt(self):
+        with pytest.raises(ValueError):
+            _transient(dt=-1.0)
+
+    def test_bad_iters(self):
+        with pytest.raises(ValueError):
+            _transient(iters=0)
+
+    def test_paper_iteration_band(self):
+        """Paper: 'the number of simple iterations ranges from 5-20 per
+        time step' — default within the band."""
+        t = _transient()
+        assert 5 <= t.simple_iters_per_step <= 20

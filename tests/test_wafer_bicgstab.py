@@ -1,0 +1,118 @@
+"""Tests for the functional wafer BiCGStab (mapping + precision + timing)."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import WaferPerfModel
+from repro.problems import (
+    convection_diffusion_system,
+    momentum_system,
+    poisson_system,
+)
+from repro.solver import WaferBiCGStab, bicgstab
+from repro.solver.wafer_bicgstab import fabric_tree_dot, fabric_tree_sum_f32
+from repro.precision import tree_sum
+
+RNG = np.random.default_rng(53)
+
+
+class TestFabricTreeDot:
+    def test_matches_fp64_dot(self):
+        x = RNG.standard_normal((6, 6, 8)).astype(np.float16)
+        got = fabric_tree_dot(x, x)
+        ref = float(np.dot(x.astype(np.float64).ravel(), x.astype(np.float64).ravel()))
+        assert got == pytest.approx(ref, rel=1e-4)
+
+    def test_tree_sum_matches_exact_order_on_small(self):
+        partial = RNG.standard_normal((5, 4)).astype(np.float32)
+        fast = float(fabric_tree_sum_f32(partial))
+        # tree_sum expects (rows=Y, cols=X); partial here is (X, Y).
+        exact = tree_sum(partial.T, dtype=np.float32)
+        assert fast == pytest.approx(exact, rel=1e-5)
+
+    def test_fp32_accumulation_beats_fp16(self):
+        n = 4096
+        x = np.ones((4, 4, n // 16), dtype=np.float16)
+        got = fabric_tree_dot(x, x)
+        assert got == pytest.approx(16 * (n // 16), rel=1e-6)
+
+
+class TestWaferSolve:
+    def test_solves_momentum_system(self):
+        sys_ = momentum_system((12, 12, 16), reynolds=100.0, dt=0.05)
+        res = WaferBiCGStab().solve(sys_, rtol=2e-3, maxiter=100)
+        assert res.converged
+        assert sys_.relative_residual(res.x) < 0.05
+
+    def test_auto_preconditions(self):
+        sys_ = convection_diffusion_system((8, 8, 8))  # diag != 1
+        res = WaferBiCGStab().solve(sys_, rtol=5e-3, maxiter=100)
+        assert res.converged
+
+    def test_bare_operator_and_rhs(self):
+        sys_ = poisson_system((8, 8, 8))
+        res = WaferBiCGStab().solve(sys_.operator, sys_.b, rtol=5e-3, maxiter=150)
+        assert res.final_residual < 5e-2
+
+    def test_bare_operator_requires_rhs(self):
+        sys_ = poisson_system((4, 4, 4))
+        with pytest.raises(ValueError, match="b is required"):
+            WaferBiCGStab().solve(sys_.operator)
+
+    def test_matches_reference_mixed_solver(self):
+        """Functional wafer solve == reference bicgstab in mixed mode with
+        the fabric dot injected: identical arithmetic, identical history."""
+        sys_ = momentum_system((8, 8, 8), reynolds=50.0, dt=0.05)
+        wres = WaferBiCGStab().solve(sys_, rtol=1e-3, maxiter=30)
+        ref = bicgstab(
+            sys_.operator, sys_.b, precision="mixed", rtol=1e-3, maxiter=30,
+            dot_fn=fabric_tree_dot,
+        )
+        assert wres.iterations == ref.iterations
+        np.testing.assert_array_equal(wres.x, ref.x)
+        np.testing.assert_array_equal(wres.residuals, ref.residuals)
+
+    def test_single_precision_mode(self):
+        sys_ = momentum_system((8, 8, 8))
+        res = WaferBiCGStab(precision="single").solve(sys_, rtol=1e-6, maxiter=200)
+        assert res.final_residual < 1e-4
+        assert res.precision == "single"
+
+
+class TestFeasibilityChecks:
+    def test_mesh_too_wide_for_fabric(self):
+        model = WaferPerfModel()
+        with pytest.raises(ValueError, match="fabric"):
+            model.check_mesh((603, 10, 16))
+
+    def test_mesh_too_tall_for_fabric(self):
+        model = WaferPerfModel()
+        with pytest.raises(ValueError, match="fabric"):
+            model.check_mesh((10, 596, 16))
+
+    def test_z_exceeding_memory(self):
+        model = WaferPerfModel()
+        with pytest.raises(ValueError, match="tile memory"):
+            model.check_mesh((10, 10, 3000))
+
+    def test_headline_mesh_feasible(self):
+        WaferPerfModel().check_mesh((600, 595, 1536))  # must not raise
+
+
+class TestModeledTiming:
+    def test_result_carries_model_numbers(self):
+        sys_ = momentum_system((10, 10, 12))
+        res = WaferBiCGStab().solve(sys_, rtol=2e-3, maxiter=50)
+        assert res.modeled_iteration_seconds > 0
+        assert res.modeled_total_seconds == pytest.approx(
+            res.modeled_iteration_seconds * res.iterations
+        )
+        assert res.modeled_pflops > 0
+        assert res.tile_memory_bytes == 10 * 12 * 2
+        assert "us/iter" in res.performance_summary()
+
+    def test_bigger_z_costs_more_time(self):
+        model = WaferPerfModel()
+        t1 = model.iteration_time((10, 10, 64))
+        t2 = model.iteration_time((10, 10, 512))
+        assert t2 > t1

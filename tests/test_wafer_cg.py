@@ -1,0 +1,63 @@
+"""Tests for CG on the wafer (the HPCG-class counterpart)."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import HEADLINE_MESH, WaferPerfModel
+from repro.problems import laplacian27, poisson_system
+from repro.solver import WaferCG, cg
+from repro.solver.wafer_bicgstab import fabric_tree_dot
+
+
+class TestWaferCG:
+    def test_solves_poisson(self):
+        sys_ = poisson_system((12, 12, 16), source="random")
+        res = WaferCG().solve(sys_, rtol=5e-3, maxiter=400)
+        assert res.converged
+        assert sys_.relative_residual(res.x) < 0.05
+
+    def test_matches_reference_cg(self):
+        sys_ = poisson_system((8, 8, 8), source="random")
+        wres = WaferCG().solve(sys_, rtol=1e-2, maxiter=100)
+        pre = sys_.preconditioned()
+        ref = cg(pre.operator, pre.b, precision="mixed", rtol=1e-2,
+                 maxiter=100, dot_fn=fabric_tree_dot)
+        assert wres.iterations == ref.iterations
+        np.testing.assert_array_equal(wres.x, ref.x)
+
+    def test_timing_half_of_bicgstab(self):
+        """CG does half the kernel work: ~0.5x the BiCGStab iteration
+        (dots halve too, so collectives halve as well)."""
+        m = WaferPerfModel()
+        ratio = m.cg_iteration_time(HEADLINE_MESH) / m.iteration_time(
+            HEADLINE_MESH
+        )
+        assert ratio == pytest.approx(0.5, abs=0.05)
+
+    def test_mesh_checked(self):
+        sys_ = poisson_system((4, 4, 4))
+        solver = WaferCG()
+        with pytest.raises(ValueError):
+            solver.model.check_mesh((4, 4, 5000))
+
+    def test_bare_operator_requires_rhs(self):
+        sys_ = poisson_system((4, 4, 4))
+        with pytest.raises(ValueError, match="b is required"):
+            WaferCG().solve(sys_.operator)
+
+    def test_result_metadata(self):
+        sys_ = poisson_system((8, 8, 8), source="random")
+        res = WaferCG().solve(sys_, rtol=1e-2, maxiter=100)
+        assert res.info["algorithm"] == "cg"
+        assert res.modeled_iteration_seconds > 0
+        assert res.allreduce_seconds > 0
+
+    def test_hpcg_operator_on_wafer(self):
+        """The 27-point HPCG-style operator solves on the wafer (at its
+        reduced Z capacity)."""
+        op = laplacian27((8, 8, 8))
+        b = np.random.default_rng(0).standard_normal(op.shape)
+        pre, bp, _ = op.jacobi_precondition(b)
+        res = cg(pre, bp, precision="mixed", rtol=1e-2, maxiter=200,
+                 dot_fn=None)
+        assert res.final_residual < 0.05

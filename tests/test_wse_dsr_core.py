@@ -1,0 +1,214 @@
+"""Tests for descriptors (DSRs), instructions, and the core model."""
+
+import numpy as np
+import pytest
+
+from repro.wse import CS1, Core
+from repro.wse.dsr import (
+    Action,
+    Completion,
+    FabricRx,
+    FifoPop,
+    FifoPush,
+    Instruction,
+    MemCursor,
+)
+from repro.wse.fifo import HardwareFifo
+
+
+class TestMemCursor:
+    def test_sequential_read(self):
+        arr = np.arange(5, dtype=np.float16)
+        c = MemCursor(arr, 0, 5)
+        assert [c.read() for _ in range(5)] == [0, 1, 2, 3, 4]
+        assert c.done
+
+    def test_offset_and_stride(self):
+        arr = np.arange(10, dtype=np.float16)
+        c = MemCursor(arr, 1, 3, stride=2)
+        assert [c.read() for _ in range(3)] == [1, 3, 5]
+
+    def test_overrun_rejected_at_construction(self):
+        arr = np.zeros(4, dtype=np.float16)
+        with pytest.raises(ValueError, match="overruns"):
+            MemCursor(arr, 2, 4)
+
+    def test_write_and_peek(self):
+        arr = np.zeros(3, dtype=np.float16)
+        c = MemCursor(arr, 0, 3)
+        c.write(np.float16(2.0))
+        assert arr[0] == 2.0
+        assert c.peek() == 0.0  # position advanced to index 1
+
+    def test_persistent_position(self):
+        """Accumulator descriptors keep position across uses (the sum
+        task relies on this)."""
+        arr = np.zeros(4, dtype=np.float16)
+        c = MemCursor(arr, 0, 4)
+        c.write(np.float16(1.0))
+        c.write(np.float16(2.0))
+        assert c.remaining() == 2
+        c.reset()
+        assert c.pos == 0
+
+
+class TestInstruction:
+    def test_mul_elementwise_fp16(self):
+        a = np.array([1.5, 2.0, 3.0], dtype=np.float16)
+        b = np.array([2.0, 0.5, 1.0], dtype=np.float16)
+        out = np.zeros(3, dtype=np.float16)
+        instr = Instruction(
+            op="mul", dst=MemCursor(out, 0, 3),
+            srcs=[MemCursor(a, 0, 3), MemCursor(b, 0, 3)], length=3,
+        )
+        instr.step(10)
+        assert instr.finished
+        np.testing.assert_array_equal(out, np.array([3.0, 1.0, 3.0], np.float16))
+
+    def test_simd_bound(self):
+        a = np.ones(10, dtype=np.float16)
+        out = np.zeros(10, dtype=np.float16)
+        instr = Instruction(
+            op="copy", dst=MemCursor(out, 0, 10),
+            srcs=[MemCursor(a, 0, 10)], length=10,
+        )
+        assert instr.step(4) == 4
+        assert not instr.finished
+        assert instr.step(4) == 4
+        assert instr.step(4) == 2
+        assert instr.finished
+
+    def test_addin_reads_current_destination(self):
+        acc = np.array([1.0, 2.0], dtype=np.float16)
+        src = np.array([10.0, 20.0], dtype=np.float16)
+        instr = Instruction(
+            op="addin", dst=MemCursor(acc, 0, 2),
+            srcs=[MemCursor(src, 0, 2)], length=2,
+        )
+        instr.step(4)
+        np.testing.assert_array_equal(acc, np.array([11.0, 22.0], np.float16))
+
+    def test_stalls_on_missing_fabric_data(self):
+        from collections import deque
+
+        q = deque()
+        out = np.zeros(3, dtype=np.float16)
+        instr = Instruction(
+            op="copy", dst=MemCursor(out, 0, 3),
+            srcs=[FabricRx(q, 3, channel=0)], length=3,
+        )
+        assert instr.step(4) == 0
+        q.append(np.float16(5.0))
+        assert instr.step(4) == 1
+        assert out[0] == 5.0
+
+    def test_stalls_on_full_fifo(self):
+        fifo = HardwareFifo("f", capacity=2)
+        src = np.ones(5, dtype=np.float16)
+        instr = Instruction(
+            op="copy", dst=FifoPush(fifo, 5),
+            srcs=[MemCursor(src, 0, 5)], length=5,
+        )
+        assert instr.step(8) == 2  # stops at FIFO capacity
+        fifo.pop()
+        assert instr.step(8) == 1
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            Instruction(op="div", dst=None, srcs=[None, None], length=1)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="sources"):
+            Instruction(op="mul", dst=None, srcs=[None], length=1)
+
+    def test_fp16_rounding_happens_per_element(self):
+        a = np.array([np.float16(1e4)], dtype=np.float16)
+        b = np.array([np.float16(1e4)], dtype=np.float16)
+        out = np.zeros(1, dtype=np.float16)
+        instr = Instruction(
+            op="mul", dst=MemCursor(out, 0, 1),
+            srcs=[MemCursor(a, 0, 1), MemCursor(b, 0, 1)], length=1,
+        )
+        with np.errstate(over="ignore"):
+            instr.step(1)
+        assert np.isinf(out[0])  # 1e8 overflows fp16, as on hardware
+
+
+class TestCore:
+    def _core(self):
+        return Core(0, 0, CS1)
+
+    def test_main_queue_in_order(self):
+        core = self._core()
+        a = np.arange(4, dtype=np.float16)
+        out1 = np.zeros(4, dtype=np.float16)
+        out2 = np.zeros(4, dtype=np.float16)
+        core.launch(Instruction("copy", MemCursor(out1, 0, 4),
+                                [MemCursor(a, 0, 4)], 4))
+        core.launch(Instruction("copy", MemCursor(out2, 0, 4),
+                                [MemCursor(out1, 0, 4)], 4))
+        core.step()  # first instruction completes (SIMD-4)
+        assert np.all(out1 == a)
+        assert np.all(out2 == 0)
+        core.step()
+        assert np.all(out2 == a)
+
+    def test_thread_slots_enforced(self):
+        core = self._core()
+        a = np.ones(4, dtype=np.float16)
+        out = np.zeros(4, dtype=np.float16)
+        instr = Instruction("copy", MemCursor(out, 0, 4), [MemCursor(a, 0, 4)], 4)
+        core.launch(instr, thread=0)
+        with pytest.raises(RuntimeError, match="occupied"):
+            core.launch(instr, thread=0)
+        with pytest.raises(ValueError):
+            core.launch(instr, thread=99)
+
+    def test_completion_triggers_scheduler(self):
+        core = self._core()
+        ran = []
+        core.scheduler.add("after", lambda c: ran.append(1))
+        a = np.ones(2, dtype=np.float16)
+        out = np.zeros(2, dtype=np.float16)
+        core.launch(
+            Instruction("copy", MemCursor(out, 0, 2), [MemCursor(a, 0, 2)], 2,
+                        completions=[Completion("after", Action.ACTIVATE)]),
+            thread=1,
+        )
+        core.step()  # instruction completes, fires activation
+        core.step()  # scheduler dispatches the task
+        assert ran == [1]
+
+    def test_subscribe_fanout(self):
+        """A channel with two subscribers delivers every word to both
+        (the looped-back local vector's double consumption)."""
+        core = self._core()
+        q1 = core.subscribe(3)
+        q2 = core.subscribe(3)
+        core.deliver(3, np.float16(7.0))
+        assert list(q1) == [7.0] and list(q2) == [7.0]
+
+    def test_deliver_without_subscriber_raises(self):
+        with pytest.raises(RuntimeError, match="no subscriber"):
+            self._core().deliver(9, 1.0)
+
+    def test_injection_backpressure(self):
+        core = self._core()
+        for i in range(core.tx_capacity):
+            assert core.inject(0, float(i))
+        assert not core.can_inject(0)
+        assert not core.inject(0, 99.0)
+        assert core.poll_tx(0) == 0.0
+        assert core.can_inject(0)
+
+    def test_idle_detection(self):
+        core = self._core()
+        assert core.idle
+        a = np.ones(8, dtype=np.float16)
+        out = np.zeros(8, dtype=np.float16)
+        core.launch(Instruction("copy", MemCursor(out, 0, 8),
+                                [MemCursor(a, 0, 8)], 8), thread=0)
+        assert not core.idle
+        core.step()
+        core.step()
+        assert core.idle

@@ -1,0 +1,84 @@
+"""Tests for the wafer geometry and machine configuration."""
+
+import pytest
+
+from repro.wse import CS1, CS1_GEOMETRY, MachineConfig, WaferGeometry
+
+
+class TestGeometry:
+    def test_cs1_die_grid(self):
+        """Paper: 'a 7x12 array of 84 identical die'."""
+        assert CS1_GEOMETRY.die_cols * CS1_GEOMETRY.die_rows == 84
+
+    def test_cs1_tile_count_near_380k(self):
+        """Paper: 'The system comprises 380,000 processor cores'."""
+        assert 375_000 <= CS1_GEOMETRY.total_tiles <= 390_000
+
+    def test_fabric_matches_experiment(self):
+        """Paper section V: 'a 602 x 595 compute fabric'."""
+        assert CS1_GEOMETRY.fabric_width == 602
+        assert CS1_GEOMETRY.fabric_height == 595
+
+    def test_fabric_fits_wafer(self):
+        assert CS1_GEOMETRY.fabric_width <= CS1_GEOMETRY.total_width
+        assert CS1_GEOMETRY.fabric_height <= CS1_GEOMETRY.total_height
+
+    def test_oversized_fabric_rejected(self):
+        with pytest.raises(ValueError):
+            WaferGeometry(fabric_width=10_000)
+
+    def test_die_of(self):
+        g = CS1_GEOMETRY
+        assert g.die_of(0, 0) == (0, 0)
+        assert g.die_of(g.die_width, 0) == (1, 0)
+        assert g.die_of(0, g.die_height) == (0, 1)
+
+    def test_die_of_out_of_range(self):
+        with pytest.raises(IndexError):
+            CS1_GEOMETRY.die_of(-1, 0)
+
+    def test_scribe_line_detection(self):
+        g = CS1_GEOMETRY
+        w = g.die_width
+        assert g.crosses_scribe_line(w - 1, 0, w, 0)
+        assert not g.crosses_scribe_line(0, 0, 1, 0)
+
+    def test_scribe_line_requires_adjacency(self):
+        with pytest.raises(ValueError):
+            CS1_GEOMETRY.crosses_scribe_line(0, 0, 2, 0)
+
+    def test_diameter(self):
+        assert CS1_GEOMETRY.diameter == 601 + 594
+
+    def test_hop_distance(self):
+        assert CS1_GEOMETRY.hop_distance((0, 0), (3, 4)) == 7
+
+
+class TestMachineConfig:
+    def test_memory_totals_18gb(self):
+        """Paper: 'There are 18 GB of on-wafer memory'."""
+        assert CS1.total_memory_bytes == pytest.approx(18e9, rel=0.05)
+
+    def test_per_tile_memory(self):
+        assert CS1.memory_per_tile == 48 * 1024
+
+    def test_peak_is_order_petaflops(self):
+        """0.86 PFLOPS achieved should be ~1/3 of fp16 peak."""
+        assert 2.0 < CS1.peak_pflops_fp16 < 3.5
+        assert 0.28 < 0.86 / CS1.peak_pflops_fp16 < 0.38
+
+    def test_mixed_peak_half_of_fp16_peak(self):
+        assert CS1.peak_pflops_mixed == pytest.approx(
+            CS1.peak_pflops_fp16 / 2.0
+        )
+
+    def test_cycles_to_seconds(self):
+        assert CS1.cycles_to_seconds(CS1.clock_hz) == pytest.approx(1.0)
+
+    def test_bandwidth_ratios(self):
+        """Memory moves 3 B/flop; injection is 1/4 of peak flops in
+        bytes (paper sections I-II)."""
+        mem = CS1.memory_read_bytes_per_cycle + CS1.memory_write_bytes_per_cycle
+        assert mem / CS1.peak_fp16_flops_per_cycle == pytest.approx(3.0)
+        inj_words = CS1.fabric_injection_bytes_per_cycle / 2  # fp16 words
+        assert inj_words / CS1.peak_fp16_flops_per_cycle == pytest.approx(1.0)
