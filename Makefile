@@ -1,12 +1,21 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-verbose examples report all clean
+.PHONY: install test lint bench bench-verbose examples report all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/ -q
+
+# Static checks: the wafer-program analyzer over every shipped kernel,
+# byte-compilation of the whole source tree, and (when installed) pyflakes.
+lint:
+	PYTHONPATH=src python -m repro lint
+	python -m compileall -q src
+	@python -c "import pyflakes" 2>/dev/null \
+		&& python -m pyflakes src \
+		|| echo "pyflakes not installed; skipped"
 
 bench:
 	pytest benchmarks/ --benchmark-only -q

@@ -1,0 +1,48 @@
+"""Static-analyzer throughput over the shipped kernel programs.
+
+Not a paper figure — tooling health: how long the whole-program
+analyzer (routing, flow conservation, task graph, DSR bounds, SRAM
+budget, precision lint) takes to verify every program the repo ships,
+and that all of them stay clean.  The analyzer is meant to run on every
+``analyze=True`` build, so its cost should stay far below a simulated
+run of the same program.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.kernels.spmv3d import build_spmv_fabric
+from repro.problems.stencil7 import Stencil7
+from repro.wse.analyze import analyze_program
+from repro.wse.analyze.lint import lint_reports, shipped_programs
+
+
+def test_lint_all_shipped(benchmark):
+    reports = benchmark(lint_reports)
+    assert all(report.ok for _name, report in reports)
+
+    print()
+    print(format_table(
+        ["program", "diagnostics", "notes"],
+        [(name, len(report), len(report.notes)) for name, report in reports],
+        title="static analysis over shipped programs (all must be clean)",
+    ))
+
+
+def test_analyze_medium_spmv(benchmark):
+    op, _b, _dinv = Stencil7.from_random((8, 8, 16)).jacobi_precondition()
+    fabric, _programs = build_spmv_fabric(op, np.zeros(op.shape))
+
+    report = benchmark(analyze_program, fabric)
+    assert report.ok
+
+    n_instr = sum(
+        1
+        for _pos, core in (
+            ((x, y), fabric.core(x, y))
+            for y in range(fabric.height)
+            for x in range(fabric.width)
+        )
+        for _ in core.program_decl.instructions()
+    )
+    print(f"\n8x8x16 SpMV: {n_instr} declared instructions analyzed clean")

@@ -390,6 +390,13 @@ def energy_report() -> str:
     )
 
 
+def lint_report() -> str:
+    """Static analysis of every shipped kernel program (zero = healthy)."""
+    from ..wse.analyze.lint import lint_report_text
+
+    return lint_report_text()
+
+
 #: CLI dispatch table: name -> report function.
 REPORTS = {
     "headline": headline_report,
@@ -408,4 +415,5 @@ REPORTS = {
     "roofline": roofline_report,
     "multiwafer": multiwafer_report,
     "energy": energy_report,
+    "lint": lint_report,
 }

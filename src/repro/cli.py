@@ -29,7 +29,10 @@ def build_parser() -> argparse.ArgumentParser:
         "report",
         nargs="?",
         default="list",
-        help="report name, 'list', 'all', or 'write-report' (default: list)",
+        help=(
+            "report name, 'list', 'all', 'lint', or 'write-report' "
+            "(default: list)"
+        ),
     )
     parser.add_argument(
         "--output",
@@ -59,6 +62,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"\n{'=' * 70}\n== {key}\n{'=' * 70}")
             print(fn())
         return 0
+    if name == "lint":
+        from .wse.analyze.lint import lint_main
+
+        return lint_main()
     if name == "write-report":
         from .analysis.harness import write_report
 

@@ -24,7 +24,7 @@ from ..problems.stencil7 import Stencil7
 from ..solver.result import SolveResult
 from ..wse.allreduce import simulate_allreduce
 from ..wse.config import CS1, MachineConfig
-from .spmv3d import run_spmv_des
+from .spmv3d import build_spmv_fabric, run_spmv_des
 
 __all__ = ["DESBiCGStab", "DESCycleReport"]
 
@@ -63,15 +63,26 @@ class DESBiCGStab:
         Unit-diagonal :class:`Stencil7` (the wafer kernel's requirement).
     config:
         Machine constants (SIMD width for the AXPY/dot cycle charges).
+    analyze:
+        When True, statically verify the SpMV tile program at
+        construction time — a probe fabric is built (no cycles run) and
+        passed through :func:`repro.wse.analyze.analyze_program`, so a
+        defective program raises before the first solve.
     """
 
     operator: Stencil7
     config: MachineConfig = field(default_factory=lambda: CS1)
+    analyze: bool = False
 
     def __post_init__(self) -> None:
         if not self.operator.has_unit_diagonal:
             raise ValueError(
                 "DES BiCGStab requires a Jacobi-preconditioned operator"
+            )
+        if self.analyze:
+            build_spmv_fabric(
+                self.operator, np.zeros(self.operator.shape),
+                self.config, analyze=True,
             )
         self.report = DESCycleReport()
 

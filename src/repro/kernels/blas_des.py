@@ -13,6 +13,10 @@ instruction programs on the core model:
   instruction into a fp32 :class:`ScalarAccumulator` at the hardware's
   2-FMAC-per-cycle rate (ceil(Z/2) cycles).
 
+Both programs carry static declarations and can be built without being
+run (:func:`build_axpy_fabric` / :func:`build_dot_fabric`), which is
+how ``python -m repro lint`` verifies them cycle-free.
+
 Together with the SpMV program (:mod:`repro.kernels.spmv3d`) and the
 AllReduce (:mod:`repro.wse.allreduce`) these cover every kernel of a
 BiCGStab iteration at the instruction level; tests cross-check them
@@ -23,36 +27,45 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..wse.analyze import InstrDecl, MemRef, ScalarRef, analyze_program
 from ..wse.config import CS1, MachineConfig
 from ..wse.core import Core
 from ..wse.dsr import Instruction, MemCursor, ScalarAccumulator
+from ..wse.fabric import Fabric
 
-__all__ = ["run_axpy_des", "run_dot_des"]
+__all__ = [
+    "run_axpy_des",
+    "run_dot_des",
+    "build_axpy_fabric",
+    "build_dot_fabric",
+]
 
 
-def _single_core(config: MachineConfig) -> Core:
-    return Core(0, 0, config)
+def _single_core_fabric(config: MachineConfig) -> tuple[Fabric, Core]:
+    fabric = Fabric(1, 1)
+    core = Core(0, 0, config)
+    fabric.attach_core(0, 0, core)
+    return fabric, core
 
 
-def run_axpy_des(
+def build_axpy_fabric(
     a: float,
     x: np.ndarray,
     y: np.ndarray,
     config: MachineConfig = CS1,
-) -> tuple[np.ndarray, int]:
-    """AXPY ``y + a*x`` as one tile instruction.
+    analyze: bool = False,
+) -> tuple[Fabric, np.ndarray, Instruction]:
+    """Construct (without running) the single-tile AXPY program.
 
-    Returns ``(result fp16 array, cycles)``.  The cycle count is the
-    SIMD-4 streaming cost plus the single launch cycle; the result is
-    bit-identical to :func:`repro.precision.ops.axpy` in mixed mode
-    (tested).
+    Returns ``(fabric, out array, instruction)``; the instruction is
+    already launched on thread 0 of the single core.
     """
     x16 = np.asarray(x, dtype=np.float16).ravel()
     y16 = np.asarray(y, dtype=np.float16).ravel()
     if x16.shape != y16.shape:
         raise ValueError("x and y must have the same length")
     n = x16.size
-    core = _single_core(config)
+    fabric, core = _single_core_fabric(config)
     xa = core.memory.store("x", x16)
     ya = core.memory.store("y", y16)
     out = core.memory.alloc("out", n, np.float16)
@@ -66,6 +79,71 @@ def run_axpy_des(
         name="axpy",
     )
     core.launch(instr, thread=0)
+    core.program_decl.launched(InstrDecl(
+        "axpy", MemRef("out", 0, n),
+        (MemRef("y", 0, n), MemRef("x", 0, n)),
+        length=n, thread=0, name="axpy",
+    ))
+    if analyze:
+        analyze_program(fabric).raise_on_error()
+    return fabric, out, instr
+
+
+def build_dot_fabric(
+    x: np.ndarray,
+    y: np.ndarray,
+    config: MachineConfig = CS1,
+    analyze: bool = False,
+) -> tuple[Fabric, ScalarAccumulator, Instruction]:
+    """Construct (without running) the single-tile mixed-dot program.
+
+    Returns ``(fabric, accumulator, instruction)``.
+    """
+    x16 = np.asarray(x, dtype=np.float16).ravel()
+    y16 = np.asarray(y, dtype=np.float16).ravel()
+    if x16.shape != y16.shape:
+        raise ValueError("x and y must have the same length")
+    n = x16.size
+    fabric, core = _single_core_fabric(config)
+    xa = core.memory.store("x", x16)
+    ya = core.memory.store("y", y16)
+    acc = ScalarAccumulator(np.float32, name="dot_acc")
+    instr = Instruction(
+        op="mac",
+        dst=acc,
+        srcs=[MemCursor(xa, 0, n, name="x"), MemCursor(ya, 0, n, name="y")],
+        length=n,
+        rate=config.mixed_fmacs_per_cycle,
+        name="dot",
+    )
+    core.launch(instr, thread=0)
+    core.program_decl.launched(InstrDecl(
+        "mac", ScalarRef("float32"),
+        (MemRef("x", 0, n), MemRef("y", 0, n)),
+        length=n, thread=0, name="dot",
+    ))
+    if analyze:
+        analyze_program(fabric).raise_on_error()
+    return fabric, acc, instr
+
+
+def run_axpy_des(
+    a: float,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: MachineConfig = CS1,
+    analyze: bool = False,
+) -> tuple[np.ndarray, int]:
+    """AXPY ``y + a*x`` as one tile instruction.
+
+    Returns ``(result fp16 array, cycles)``.  The cycle count is the
+    SIMD-4 streaming cost plus the single launch cycle; the result is
+    bit-identical to :func:`repro.precision.ops.axpy` in mixed mode
+    (tested).
+    """
+    fabric, out, instr = build_axpy_fabric(a, x, y, config, analyze=analyze)
+    core = fabric.core(0, 0)
+    n = out.size
     cycles = 0
     while not instr.finished:
         core.step()
@@ -79,30 +157,16 @@ def run_dot_des(
     x: np.ndarray,
     y: np.ndarray,
     config: MachineConfig = CS1,
+    analyze: bool = False,
 ) -> tuple[float, int]:
     """The mixed-precision dot as one tile instruction.
 
     fp16 operands, exact products (fp32), fp32 accumulation, at the
     hardware's 2 elements per cycle.  Returns ``(value, cycles)``.
     """
-    x16 = np.asarray(x, dtype=np.float16).ravel()
-    y16 = np.asarray(y, dtype=np.float16).ravel()
-    if x16.shape != y16.shape:
-        raise ValueError("x and y must have the same length")
-    n = x16.size
-    core = _single_core(config)
-    xa = core.memory.store("x", x16)
-    ya = core.memory.store("y", y16)
-    acc = ScalarAccumulator(np.float32, name="dot_acc")
-    instr = Instruction(
-        op="mac",
-        dst=acc,
-        srcs=[MemCursor(xa, 0, n, name="x"), MemCursor(ya, 0, n, name="y")],
-        length=n,
-        rate=config.mixed_fmacs_per_cycle,
-        name="dot",
-    )
-    core.launch(instr, thread=0)
+    fabric, acc, instr = build_dot_fabric(x, y, config, analyze=analyze)
+    core = fabric.core(0, 0)
+    n = np.asarray(x).size
     cycles = 0
     while not instr.finished:
         core.step()

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..problems.stencil9 import OFFSETS_9PT, Stencil9
+from ..wse.analyze import FabricRef, InstrDecl, MemRef, analyze_program
 from ..wse.config import CS1, MachineConfig
 from ..wse.core import Core
 from ..wse.dsr import Action, Completion, FabricRx, FabricTx, Instruction, MemCursor
@@ -153,6 +154,23 @@ def _build_tile(
 
     core.scheduler.add("local", local_compute)
     core.scheduler.activate("local")
+    decl = core.program_decl
+    last_leg = list(OFFSETS_9PT)[-1]
+    decl.task("local", launches=tuple(
+        InstrDecl(
+            "mac",
+            MemRef("out", (1 + di + xk) * (by + 2) + (1 + dj), by),
+            (MemRef(f"c_{leg}", xk * by, by), MemRef("v", xk * by, by)),
+            length=by, thread=None,
+            completions=(
+                (("start_x", Action.ACTIVATE),)
+                if (leg == last_leg and xk == bx - 1) else ()
+            ),
+            name=f"mac_{leg}_{xk}",
+        )
+        for leg, (di, dj) in OFFSETS_9PT.items()
+        for xk in range(bx)
+    ))
 
     # ---- x-round ---------------------------------------------------------
     def start_x(c: Core) -> None:
@@ -189,12 +207,38 @@ def _build_tile(
 
     core.scheduler.add("start_x", start_x, blocked=True)
     core.scheduler.unblock("start_x")
+    sx_launches: list[InstrDecl] = []
+    sx_actions: list[tuple] = []
+    for ch, col in ((CH_E, bx + 1), (CH_W, 0)):
+        if has[ch]:
+            sx_launches.append(InstrDecl(
+                "copy", FabricRef(ch, by + 2),
+                (MemRef("out", col * (by + 2), by + 2),),
+                length=by + 2, thread=0 if ch == CH_E else 1,
+                name=f"send_x_{ch}",
+            ))
+    for queue, ch, col, trig in (
+        (rx_e, CH_E, 1, ("x_done", Action.ACTIVATE)),
+        (rx_w, CH_W, bx, ("x_done", Action.UNBLOCK)),
+    ):
+        if queue is None:
+            sx_actions.append(trig)
+            continue
+        sx_launches.append(InstrDecl(
+            "addin", MemRef("out", col * (by + 2), by + 2),
+            (FabricRef(ch, by + 2),),
+            length=by + 2, thread=2 if ch == CH_E else 3,
+            completions=(trig,), name=f"recv_x_{ch}",
+        ))
+    decl.task("start_x", launches=sx_launches, actions=sx_actions)
 
     def x_done(c: Core) -> None:
         c.scheduler.block("x_done")
         c.scheduler.activate("start_y")
 
     core.scheduler.add("x_done", x_done, blocked=True)
+    decl.task("x_done", actions=(
+        ("x_done", Action.BLOCK), ("start_y", Action.ACTIVATE)))
 
     # ---- y-round ---------------------------------------------------------
     def start_y(c: Core) -> None:
@@ -229,12 +273,37 @@ def _build_tile(
 
     core.scheduler.add("start_y", start_y, blocked=True)
     core.scheduler.unblock("start_y")
+    sy_launches: list[InstrDecl] = []
+    sy_actions: list[tuple] = []
+    for ch, row in ((CH_N, by + 1), (CH_S, 0)):
+        if has[ch]:
+            sy_launches.append(InstrDecl(
+                "copy", FabricRef(ch, bx),
+                (MemRef("out", (by + 2) + row, bx, stride=by + 2),),
+                length=bx, thread=4 if ch == CH_N else 5,
+                name=f"send_y_{ch}",
+            ))
+    for queue, ch, row, trig in (
+        (rx_n, CH_N, 1, ("y_done", Action.ACTIVATE)),
+        (rx_s, CH_S, by, ("y_done", Action.UNBLOCK)),
+    ):
+        if queue is None:
+            sy_actions.append(trig)
+            continue
+        sy_launches.append(InstrDecl(
+            "addin", MemRef("out", (by + 2) + row, bx, stride=by + 2),
+            (FabricRef(ch, bx),),
+            length=bx, thread=6 if ch == CH_N else 7,
+            completions=(trig,), name=f"recv_y_{ch}",
+        ))
+    decl.task("start_y", launches=sy_launches, actions=sy_actions)
 
     def y_done(c: Core) -> None:
         c.scheduler.block("y_done")
         c.flags["spmv2d_done"] = True
 
     core.scheduler.add("y_done", y_done, blocked=True)
+    decl.task("y_done", actions=(("y_done", Action.BLOCK),))
 
     return _TileProgram(core=core, bx=bx, by=by, out=out)
 
@@ -244,8 +313,15 @@ def build_spmv2d_fabric(
     v: np.ndarray,
     block_shape: tuple[int, int],
     config: MachineConfig = CS1,
+    analyze: bool = False,
 ) -> tuple[Fabric, list[list[_TileProgram]]]:
-    """Construct the block-mapped fabric for one 2D SpMV."""
+    """Construct the block-mapped fabric for one 2D SpMV.
+
+    With ``analyze=True`` the constructed program is statically
+    verified (:func:`repro.wse.analyze.analyze_program`) before being
+    returned; an :class:`~repro.wse.analyze.AnalysisError` lists any
+    defects.
+    """
     nx, ny = op.shape
     bx, by = block_shape
     if nx % bx or ny % by:
@@ -262,6 +338,8 @@ def build_spmv2d_fabric(
             programs[bj][bi] = _build_tile(
                 core, fabric, op, cols, v, bi, bj, bx, by
             )
+    if analyze:
+        analyze_program(fabric).raise_on_error()
     return fabric, programs
 
 
@@ -271,6 +349,7 @@ def run_spmv2d_des(
     block_shape: tuple[int, int],
     config: MachineConfig = CS1,
     max_cycles: int = 500_000,
+    analyze: bool = False,
 ) -> tuple[np.ndarray, int]:
     """Run the 2D-mapping SpMV on the tile simulator.
 
@@ -279,7 +358,8 @@ def run_spmv2d_des(
     """
     nx, ny = op.shape
     bx, by = block_shape
-    fabric, programs = build_spmv2d_fabric(op, v, block_shape, config)
+    fabric, programs = build_spmv2d_fabric(op, v, block_shape, config,
+                                           analyze=analyze)
     px, py = nx // bx, ny // by
 
     def finished(f: Fabric) -> bool:

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..problems.stencil7 import Stencil7
+from ..wse.analyze import FabricRef, FifoRef, InstrDecl, MemRef, analyze_program
 from ..wse.channels import tile_channel
 from ..wse.config import CS1, MachineConfig
 from ..wse.core import Core
@@ -190,19 +191,25 @@ def _build_tile_program(
                     acc.write(acc.peek() + val)
         return body
 
+    decl = core.program_decl
     if two_sum_tasks:
         core.scheduler.add("sumtask", _drain(("xp", "xm", "z")), priority=1)
         core.scheduler.add("sumtask2", _drain(("yp", "ym")), priority=1)
+        decl.task("sumtask", drains=("xp_fifo", "xm_fifo", "z_fifo"))
+        decl.task("sumtask2", drains=("yp_fifo", "ym_fifo"))
     else:
         core.scheduler.add(
             "sumtask", _drain(("xp", "xm", "z", "yp", "ym")), priority=1
         )
+        decl.task("sumtask", drains=tuple(
+            f"{n}_fifo" for n in ("xp", "xm", "z", "yp", "ym")))
 
     def _tree(name, *ops_):
         def body(c: Core, _ops=ops_) -> None:
             for action, target in _ops:
                 c.scheduler.apply(target, action)
         core.scheduler.add(name, body, blocked=True)
+        decl.task(name, actions=tuple((t, a) for a, t in ops_))
 
     _tree("xdone", (Action.BLOCK, "xdone"), (Action.UNBLOCK, "xydone"))
     _tree("ydone", (Action.BLOCK, "ydone"), (Action.ACTIVATE, "xydone"))
@@ -214,6 +221,7 @@ def _build_tile_program(
         c.flags["spmv_done"] = True
 
     core.scheduler.add("spmv_exit", spmv_exit)
+    decl.task("spmv_exit")
 
     def launch_threads(c: Core) -> None:
         # The five FIFO-writing threads plus the diagonal add, launched
@@ -265,6 +273,34 @@ def _build_tile_program(
         )
 
     core.scheduler.add("launch_rest", launch_threads)
+    lr_launches: list[InstrDecl] = []
+    lr_actions: list[tuple] = []
+    for name, (dx, dy), port in _NEIGHBOUR_LEGS:
+        trig = _TRIGGERS[name]
+        if not present[name]:
+            lr_actions.append((trig.task, trig.action))
+            continue
+        lr_launches.append(InstrDecl(
+            "mul", FifoRef(f"{name}_fifo", Z),
+            (FabricRef(rx_queues[name][1], Z), MemRef(f"{name}_a", 0, Z)),
+            length=Z, thread=_THREAD[name],
+            completions=((trig.task, trig.action),),
+            name=f"{name}_thread",
+        ))
+    lr_launches.append(InstrDecl(
+        "mul", FifoRef("z_fifo", Z),
+        (FabricRef(own_ch, Z), MemRef("zloop_a", 0, Z)),
+        length=Z, thread=_THREAD["z"],
+        completions=((_TRIGGERS["z"].task, _TRIGGERS["z"].action),),
+        name="z_thread",
+    ))
+    lr_launches.append(InstrDecl(
+        "addin", MemRef("u", 1, Z), (FabricRef(own_ch, Z),),
+        length=Z, thread=_THREAD["c_add"],
+        completions=((_TRIGGERS["c_add"].task, _TRIGGERS["c_add"].action),),
+        name="c_add_thread",
+    ))
+    decl.task("launch_rest", launches=lr_launches, actions=lr_actions)
 
     def spmv_task(c: Core) -> None:
         # Re-runnable: rewind the persistent accumulator descriptors
@@ -302,6 +338,19 @@ def _build_tile_program(
 
     core.scheduler.add("spmv", spmv_task)
     core.scheduler.activate("spmv")
+    decl.task("spmv", launches=(
+        InstrDecl(
+            "copy", FabricRef(own_ch, Z), (MemRef("v", 0, Z),),
+            length=Z, thread=_THREAD["c_tx"], name="c_tx_thread",
+        ),
+        InstrDecl(
+            "mul", MemRef("u", 0, Z + 1),
+            (MemRef("v", 0, Z + 1), MemRef("zinit_a", 0, Z + 1)),
+            length=Z + 1, thread=None,
+            completions=(("launch_rest", Action.ACTIVATE),),
+            name="zinit_thread",
+        ),
+    ))
     return SpmvProgram(core=core, z=Z, v=v, u=u)
 
 
@@ -311,12 +360,16 @@ def build_spmv_fabric(
     config: MachineConfig = CS1,
     fifo_capacity: int = 20,
     two_sum_tasks: bool = False,
+    analyze: bool = False,
 ) -> tuple[Fabric, list[list[SpmvProgram]]]:
     """Construct the full fabric running one SpMV over the mesh.
 
     The mesh's X and Y extents map to the fabric axes; Z stays local
     (Fig. 3).  Returns the fabric (ready to ``run``) and the per-tile
-    program handles indexed ``programs[j][i]``.
+    program handles indexed ``programs[j][i]``.  With ``analyze=True``
+    the constructed program is statically verified
+    (:func:`repro.wse.analyze.analyze_program`) before being returned;
+    an :class:`~repro.wse.analyze.AnalysisError` lists any defects.
     """
     nx, ny, nz = op.shape
     op.validate()
@@ -331,6 +384,8 @@ def build_spmv_fabric(
                 core, fabric, op, v[i, j, :], i, j, fifo_capacity,
                 two_sum_tasks,
             )
+    if analyze:
+        analyze_program(fabric).raise_on_error()
     return fabric, programs
 
 
@@ -397,6 +452,7 @@ def run_spmv_des(
     fifo_capacity: int = 20,
     max_cycles: int = 200_000,
     two_sum_tasks: bool = False,
+    analyze: bool = False,
 ) -> tuple[np.ndarray, int]:
     """Run the discrete simulation of one SpMV; returns ``(u, cycles)``.
 
@@ -406,7 +462,7 @@ def run_spmv_des(
     drained.
     """
     fabric, programs = build_spmv_fabric(op, v, config, fifo_capacity,
-                                         two_sum_tasks)
+                                         two_sum_tasks, analyze=analyze)
     nx, ny, nz = op.shape
 
     def finished(f: Fabric) -> bool:

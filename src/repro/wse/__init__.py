@@ -52,6 +52,20 @@ from .patterns import (
     vstack,
 )
 from .validate import RoutingIssue, check_routing, validate_routing
+from .analyze import (
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
+    FabricRef,
+    FifoRef,
+    InstrDecl,
+    MemRef,
+    ProgramDecl,
+    ScalarRef,
+    Severity,
+    TaskDecl,
+    analyze_program,
+)
 from .stats import FabricTrace, trace_run
 from .allreduce import (
     allreduce_latency_cycles,
@@ -104,6 +118,18 @@ __all__ = [
     "RoutingIssue",
     "check_routing",
     "validate_routing",
+    "AnalysisError",
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "analyze_program",
+    "ProgramDecl",
+    "TaskDecl",
+    "InstrDecl",
+    "MemRef",
+    "ScalarRef",
+    "FabricRef",
+    "FifoRef",
     "FabricTrace",
     "trace_run",
 ]

@@ -1,0 +1,65 @@
+"""repro.wse.analyze — whole-program static analysis for wafer programs.
+
+Verifies routing, flow conservation, the task activation graph, DSR
+memory safety, the per-tile SRAM budget and mixed-precision hygiene of a
+constructed program *before* simulating a single cycle — the class of
+checking the paper says belongs in compilation ("routes are configured
+offline", section II.A).
+
+Typical use::
+
+    from repro.wse.analyze import analyze_program
+    report = analyze_program(fabric)
+    report.raise_on_error()          # or inspect report.diagnostics
+
+The command-line entry point is ``python -m repro lint`` (implemented in
+:mod:`repro.wse.analyze.lint`, imported lazily by the CLI so this
+package stays import-cycle-free with :mod:`repro.wse.core`).
+"""
+
+from .analyzer import ALL_PASSES, analyze_program
+from .diagnostics import AnalysisError, AnalysisReport, Diagnostic, Severity
+from .passes import (
+    dsr_pass,
+    flow_pass,
+    precision_pass,
+    sram_pass,
+    task_graph_pass,
+)
+from .routing import cyclic_sccs, forwarding_graph, routes_by_channel, routing_pass
+from .spec import (
+    BUILD_LAUNCH,
+    FabricRef,
+    FifoRef,
+    InstrDecl,
+    MemRef,
+    ProgramDecl,
+    ScalarRef,
+    TaskDecl,
+)
+
+__all__ = [
+    "ALL_PASSES",
+    "analyze_program",
+    "AnalysisError",
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "routing_pass",
+    "flow_pass",
+    "task_graph_pass",
+    "dsr_pass",
+    "sram_pass",
+    "precision_pass",
+    "routes_by_channel",
+    "forwarding_graph",
+    "cyclic_sccs",
+    "BUILD_LAUNCH",
+    "MemRef",
+    "ScalarRef",
+    "FabricRef",
+    "FifoRef",
+    "InstrDecl",
+    "TaskDecl",
+    "ProgramDecl",
+]

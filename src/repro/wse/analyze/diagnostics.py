@@ -1,0 +1,148 @@
+"""Diagnostics: the analyzer's finding record and report container.
+
+Every pass reports findings as :class:`Diagnostic` values — frozen
+dataclasses with value equality, so tests can assert on findings
+directly instead of string-matching reprs.  A finding carries its
+severity, the pass that produced it, a machine-readable ``kind``, the
+tile coordinate it anchors to, the virtual channel involved (when any),
+a human-readable message, and a fix hint.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Diagnostic", "AnalysisReport", "AnalysisError"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings describe programs that hang, corrupt memory, or
+    silently lose data at runtime; ``WARNING`` findings are suspicious
+    but may be intended; ``INFO`` is advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from one analysis pass.
+
+    Attributes
+    ----------
+    severity:
+        :class:`Severity` of the finding.
+    pass_name:
+        The producing pass: ``routing``, ``flow``, ``tasks``, ``dsr``,
+        ``sram``, or ``precision``.
+    kind:
+        Machine-readable finding class within the pass (``dead-end``,
+        ``cycle``, ``under-supply``, ``fifo-no-consumer``, ...).
+    message:
+        Human-readable description.
+    where:
+        Tile coordinate ``(x, y)`` the finding anchors to, or None for
+        whole-fabric findings.
+    channel:
+        Virtual channel involved, when the finding concerns one.
+    hint:
+        A one-line suggestion for fixing the program.
+    """
+
+    severity: Severity
+    pass_name: str
+    kind: str
+    message: str
+    where: tuple[int, int] | None = None
+    channel: int | None = None
+    hint: str = ""
+
+    def __str__(self) -> str:
+        loc = ""
+        if self.where is not None:
+            loc += f" at ({self.where[0]},{self.where[1]})"
+        if self.channel is not None:
+            loc += f" channel {self.channel}"
+        out = f"[{self.severity}] {self.pass_name}/{self.kind}{loc}: {self.message}"
+        if self.hint:
+            out += f"  (hint: {self.hint})"
+        return out
+
+
+class AnalysisError(ValueError):
+    """Raised by :meth:`AnalysisReport.raise_on_error` when a program
+    fails static analysis; carries the offending report."""
+
+    def __init__(self, report: "AnalysisReport"):
+        self.report = report
+        super().__init__(f"static analysis failed:\n{report.format()}")
+
+
+@dataclass
+class AnalysisReport:
+    """All findings from one whole-program analysis run.
+
+    ``notes`` carries advisory summary lines (e.g. the worst-tile SRAM
+    occupancy) that are *not* findings — a clean program has zero
+    diagnostics but usually a few notes.
+    """
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """True when the program produced no findings at all."""
+        return not self.diagnostics
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def by_pass(self, pass_name: str) -> list[Diagnostic]:
+        """Findings from one pass."""
+        return [d for d in self.diagnostics if d.pass_name == pass_name]
+
+    def by_kind(self, kind: str) -> list[Diagnostic]:
+        """Findings of one kind (across passes)."""
+        return [d for d in self.diagnostics if d.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    # ------------------------------------------------------------------
+    def format(self, max_diagnostics: int = 50) -> str:
+        """Human-readable report."""
+        if self.ok:
+            lines = ["clean (0 diagnostics)"]
+        else:
+            n = len(self.diagnostics)
+            lines = [f"{n} diagnostic{'s' if n != 1 else ''}"]
+            for d in self.diagnostics[:max_diagnostics]:
+                lines.append(f"  {d}")
+            if n > max_diagnostics:
+                lines.append(f"  ... and {n - max_diagnostics} more")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def raise_on_error(self) -> None:
+        """Raise :class:`AnalysisError` when any ERROR finding exists."""
+        if self.errors:
+            raise AnalysisError(self)

@@ -1,0 +1,526 @@
+"""Whole-program analysis passes beyond routing.
+
+Each pass takes the fabric and the collected per-tile program state and
+returns :class:`~repro.wse.analyze.diagnostics.Diagnostic` findings.
+Passes that need the static instruction declarations (flow, tasks, dsr,
+precision) only inspect cores whose :class:`ProgramDecl` is non-empty;
+cores without declarations (pure-routing cores like the AllReduce's
+``ReduceCore``) still get the routing and SRAM checks.
+
+Paper anchors: flow conservation and the task-graph checks make the
+section II.A "routes are configured offline" promise checkable for
+dataflow, not just connectivity; the SRAM pass turns section IV's
+10Z-word budget into an invariant; the precision lint encodes the
+section VI mixed-precision hazard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .diagnostics import Diagnostic, Severity
+from .routing import cyclic_sccs, forwarding_graph, routes_by_channel
+from .spec import BUILD_LAUNCH, FabricRef, FifoRef, MemRef, ProgramDecl, ScalarRef
+from ..dsr import Action
+from ..fabric import Fabric, Port
+
+__all__ = [
+    "flow_pass",
+    "task_graph_pass",
+    "dsr_pass",
+    "sram_pass",
+    "precision_pass",
+]
+
+#: Don't enumerate descriptor index sets beyond this many elements (the
+#: race lint falls back to a conservative envelope check above it).
+_MAX_EXACT_INDICES = 65536
+
+
+def _decl_of(core) -> ProgramDecl | None:
+    decl = getattr(core, "program_decl", None)
+    if isinstance(decl, ProgramDecl) and decl:
+        return decl
+    return None
+
+
+def _decl_cores(cores):
+    """Subset of ``(pos, core)`` with a non-empty program declaration."""
+    return [(pos, core) for pos, core in cores if _decl_of(core) is not None]
+
+
+# ----------------------------------------------------------------------
+# Flow conservation
+# ----------------------------------------------------------------------
+def _delivery_multiplicity(route_map, graph, start) -> dict:
+    """How many copies of one injected word each tile's core receives.
+
+    Walks the forwarding graph from the injection node; every reachable
+    node whose route fans to 'C' delivers one copy to its tile's core.
+    """
+    delivered: dict[tuple[int, int], int] = {}
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        pos, _ = node
+        if Port.CORE in route_map.get(node, ()):
+            delivered[pos] = delivered.get(pos, 0) + 1
+        for nxt in graph.get(node, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return delivered
+
+
+def flow_pass(fabric: Fabric, cores) -> list[Diagnostic]:
+    """Per-channel word conservation: injected must equal consumed.
+
+    For every channel, the words injected by ``FabricRef`` destinations
+    must match, along each route, the words consumable by ``FabricRef``
+    sources at every delivery tile.  Under-supply is a hang (a receive
+    descriptor waits forever); over-supply is unbounded back-pressure or
+    silently dropped data.  Runs only when every attached core carries a
+    program declaration — a fabric mixing declared and undeclared cores
+    has no complete static picture to check.
+    """
+    decl_cores = _decl_cores(cores)
+    if not decl_cores or len(decl_cores) != len(cores):
+        return []
+    core_at = dict(decl_cores)
+    diags: list[Diagnostic] = []
+    chan_routes = routes_by_channel(fabric)
+
+    # Collect per-core tx words and rx lengths per channel.
+    tx: dict[int, dict[tuple[int, int], int]] = {}
+    rx: dict[int, dict[tuple[int, int], list[int]]] = {}
+    for pos, core in decl_cores:
+        for _task, instr in _decl_of(core).instructions():
+            if isinstance(instr.dst, FabricRef):
+                ch = tx.setdefault(instr.dst.channel, {})
+                ch[pos] = ch.get(pos, 0) + instr.dst.length
+            for src in instr.srcs:
+                if isinstance(src, FabricRef):
+                    rx.setdefault(src.channel, {}).setdefault(pos, []).append(
+                        src.length
+                    )
+
+    for channel in sorted(set(tx) | set(rx)):
+        route_map = chan_routes.get(channel, {})
+        graph = forwarding_graph(fabric, route_map)
+        if cyclic_sccs(graph):
+            continue  # the routing pass already reported the loop(s)
+
+        delivered: dict[tuple[int, int], int] = {}
+        for pos, words in sorted(tx.get(channel, {}).items()):
+            start = (pos, Port.CORE)
+            if start not in route_map:
+                diags.append(Diagnostic(
+                    Severity.ERROR, "flow", "tx-no-route",
+                    f"core injects {words} word(s) but its router has no "
+                    "(channel, 'C') route",
+                    where=pos, channel=channel,
+                    hint="set_route(channel, Port.CORE, ...) before injecting",
+                ))
+                continue
+            for dst_pos, mult in _delivery_multiplicity(
+                route_map, graph, start
+            ).items():
+                delivered[dst_pos] = delivered.get(dst_pos, 0) + mult * words
+
+        chan_rx = rx.get(channel, {})
+        for pos in sorted(set(delivered) | set(chan_rx)):
+            got = delivered.get(pos, 0)
+            lens = chan_rx.get(pos, [])
+            if got and not lens:
+                diags.append(Diagnostic(
+                    Severity.ERROR, "flow", "unconsumed",
+                    f"{got} word(s) are delivered here but no receive "
+                    "descriptor consumes them",
+                    where=pos, channel=channel,
+                    hint="subscribe and attach a FabricRx, or drop the route",
+                ))
+                continue
+            if lens and not got:
+                diags.append(Diagnostic(
+                    Severity.ERROR, "flow", "starved",
+                    f"receive descriptor(s) expect {lens} word(s) but no "
+                    "route delivers any — the consumer hangs",
+                    where=pos, channel=channel,
+                    hint="route a producer's stream here or remove the receive",
+                ))
+                continue
+            core = core_at.get(pos)
+            n_subs = None
+            count = getattr(core, "subscriber_count", None)
+            if callable(count):
+                n_subs = count(channel)
+            if n_subs is not None and len(lens) != n_subs:
+                diags.append(Diagnostic(
+                    Severity.ERROR, "flow", "subscriber-mismatch",
+                    f"{n_subs} subscription(s) but {len(lens)} receive "
+                    "descriptor(s) — an arrival queue is never drained",
+                    where=pos, channel=channel,
+                    hint="one FabricRx per subscription per activation",
+                ))
+                continue
+            for want in lens:
+                if want > got:
+                    diags.append(Diagnostic(
+                        Severity.ERROR, "flow", "under-supply",
+                        f"receive descriptor expects {want} word(s) but only "
+                        f"{got} are routed here — the consumer hangs",
+                        where=pos, channel=channel,
+                        hint="match send and receive descriptor lengths",
+                    ))
+                elif want < got:
+                    diags.append(Diagnostic(
+                        Severity.ERROR, "flow", "over-supply",
+                        f"{got} word(s) are routed here but the receive "
+                        f"descriptor consumes only {want} — the excess backs "
+                        "up the channel",
+                        where=pos, channel=channel,
+                        hint="match send and receive descriptor lengths",
+                    ))
+    return diags
+
+
+# ----------------------------------------------------------------------
+# Task graph
+# ----------------------------------------------------------------------
+def task_graph_pass(fabric: Fabric, cores) -> list[Diagnostic]:
+    """Activation-graph deadlock and FIFO wiring checks, per core.
+
+    Builds the activate/block/unblock graph from declared completion
+    triggers, task-body actions, and FIFO ``on_push`` wiring, then:
+
+    * flags tasks that can never be activated (no activation chain from
+      any initially-activated task);
+    * flags initially-blocked tasks with no reachable unblock source;
+    * flags pushed FIFOs with no draining task, and pushes whose burst
+      exceeds the FIFO's capacity with no push-triggered drain.
+
+    Declared task names are cross-checked against the live scheduler in
+    both directions, so the declarations cannot silently drift from the
+    program they describe.
+    """
+    diags: list[Diagnostic] = []
+    for pos, core in _decl_cores(cores):
+        decl = _decl_of(core)
+        scheduler = getattr(core, "scheduler", None)
+        fifos = dict(getattr(core, "fifos", {}) or {})
+        sched_names = set()
+        if scheduler is not None:
+            names = getattr(scheduler, "names", None)
+            if callable(names):
+                sched_names = set(names())
+
+        # ---- declaration <-> scheduler drift -----------------------------
+        declared = {n for n in decl.tasks if n != BUILD_LAUNCH}
+        for name in sorted(declared - sched_names):
+            diags.append(Diagnostic(
+                Severity.ERROR, "tasks", "unknown-task",
+                f"declared task {name!r} is not registered on the scheduler",
+                where=pos, hint="declarations must match scheduler.add calls",
+            ))
+        for name in sorted(sched_names - declared):
+            diags.append(Diagnostic(
+                Severity.ERROR, "tasks", "undeclared-task",
+                f"scheduler task {name!r} has no static declaration",
+                where=pos, hint="add a ProgramDecl.task entry for it",
+            ))
+        if (declared - sched_names) or (sched_names - declared):
+            continue  # edge construction below needs agreement
+
+        # ---- edges -------------------------------------------------------
+        activate_edges: dict[str, set[str]] = {}
+        unblock_edges: dict[str, set[str]] = {}
+
+        def _edge(source: str, target: str, action: Action) -> None:
+            if target not in decl.tasks and target != BUILD_LAUNCH:
+                diags.append(Diagnostic(
+                    Severity.ERROR, "tasks", "unknown-task-ref",
+                    f"task {source!r} manipulates unknown task {target!r}",
+                    where=pos, hint="fix the completion/action target name",
+                ))
+                return
+            if action is Action.ACTIVATE:
+                activate_edges.setdefault(target, set()).add(source)
+            elif action is Action.UNBLOCK:
+                unblock_edges.setdefault(target, set()).add(source)
+
+        pushed: dict[str, list[tuple[str, int]]] = {}  # fifo -> [(task, burst)]
+        drained: dict[str, set[str]] = {}  # fifo -> draining tasks
+        for tname, task in decl.tasks.items():
+            for target, action in task.actions:
+                _edge(tname, target, action)
+            for fifo_name in task.drains:
+                drained.setdefault(fifo_name, set()).add(tname)
+            for instr in task.launches:
+                for target, action in instr.completions:
+                    _edge(tname, target, action)
+                if isinstance(instr.dst, FifoRef):
+                    pushed.setdefault(instr.dst.fifo, []).append(
+                        (tname, instr.dst.length)
+                    )
+                for src in instr.srcs:
+                    if isinstance(src, FifoRef):
+                        drained.setdefault(src.fifo, set()).add(tname)
+
+        # FIFO on_push wiring contributes activation edges.
+        for fifo_name, pushes in sorted(pushed.items()):
+            fifo = fifos.get(fifo_name)
+            if fifo is None:
+                diags.append(Diagnostic(
+                    Severity.ERROR, "tasks", "unknown-fifo",
+                    f"instruction pushes to unknown FIFO {fifo_name!r}",
+                    where=pos, hint="create it with core.make_fifo first",
+                ))
+                continue
+            activates = getattr(fifo, "activates", None)
+            if activates is not None and activates in decl.tasks:
+                for tname, _burst in pushes:
+                    activate_edges.setdefault(activates, set()).add(tname)
+
+        # ---- liveness fixpoint (optimistic about blocking) ---------------
+        live: set[str] = {BUILD_LAUNCH}
+        if scheduler is not None:
+            for name in sched_names:
+                if scheduler.is_activated(name):
+                    live.add(name)
+        changed = True
+        while changed:
+            changed = False
+            for target, sources in activate_edges.items():
+                if target not in live and sources & live:
+                    live.add(target)
+                    changed = True
+
+        for name in sorted(declared):
+            if name not in live:
+                diags.append(Diagnostic(
+                    Severity.ERROR, "tasks", "never-activated",
+                    f"task {name!r} can never be activated: no activation "
+                    "chain reaches it from any initially-activated task",
+                    where=pos,
+                    hint="activate it at build time or wire a completion "
+                         "trigger / FIFO push to it",
+                ))
+            elif scheduler is not None and scheduler.is_blocked(name):
+                if not (unblock_edges.get(name, set()) & live):
+                    diags.append(Diagnostic(
+                        Severity.ERROR, "tasks", "never-unblocked",
+                        f"task {name!r} starts blocked and no live task "
+                        "ever unblocks it",
+                        where=pos,
+                        hint="add an UNBLOCK completion or unblock at build",
+                    ))
+
+        # ---- FIFO producer/consumer --------------------------------------
+        for fifo_name, pushes in sorted(pushed.items()):
+            fifo = fifos.get(fifo_name)
+            if fifo is None:
+                continue  # reported above
+            drainers = {t for t in drained.get(fifo_name, set()) if t in live}
+            if not drainers:
+                diags.append(Diagnostic(
+                    Severity.ERROR, "tasks", "fifo-no-consumer",
+                    f"FIFO {fifo_name!r} is pushed "
+                    f"({sum(b for _, b in pushes)} word(s)) but no live task "
+                    "drains it",
+                    where=pos,
+                    hint="add a draining task (declare it via drains=) or "
+                         "a FifoRef source",
+                ))
+                continue
+            capacity = getattr(fifo, "capacity", None)
+            activates = getattr(fifo, "activates", None)
+            for tname, burst in pushes:
+                if capacity is not None and burst > capacity and not activates:
+                    diags.append(Diagnostic(
+                        Severity.ERROR, "tasks", "fifo-overflow",
+                        f"task {tname!r} pushes {burst} word(s) through FIFO "
+                        f"{fifo_name!r} (capacity {capacity}) with no "
+                        "push-triggered drain — the producer wedges",
+                        where=pos,
+                        hint="wire make_fifo(..., activates=<sum task>) so "
+                             "pushes schedule the drain",
+                    ))
+    return diags
+
+
+# ----------------------------------------------------------------------
+# DSR memory safety
+# ----------------------------------------------------------------------
+def _mem_indices(ref: MemRef):
+    """Index set of a MemRef, or an (lo, hi) envelope for huge extents."""
+    if ref.length <= _MAX_EXACT_INDICES:
+        return set(ref.indices())
+    last = ref.offset + (ref.length - 1) * ref.stride
+    return (min(ref.offset, last), max(ref.offset, last))
+
+
+def _ranges_overlap(a, b) -> bool:
+    if isinstance(a, set) and isinstance(b, set):
+        return bool(a & b)
+    lo_a, hi_a = (min(a), max(a)) if isinstance(a, set) else a
+    lo_b, hi_b = (min(b), max(b)) if isinstance(b, set) else b
+    return lo_a <= hi_b and lo_b <= hi_a
+
+
+def dsr_pass(fabric: Fabric, cores) -> list[Diagnostic]:
+    """Descriptor bounds and the concurrent-write data-race lint.
+
+    Every ``MemRef``'s ``offset + stride*(length-1)`` must stay inside
+    its backing allocation, and two instructions a single task launches
+    on *different* thread slots (the core runs them concurrently) must
+    not have overlapping write ranges on the same array.  Instructions
+    queued on the main thread are sequential among themselves and never
+    race each other.
+    """
+    diags: list[Diagnostic] = []
+    for pos, core in _decl_cores(cores):
+        decl = _decl_of(core)
+        memory = getattr(core, "memory", None)
+
+        def _check_ref(ref: MemRef, instr_name: str) -> bool:
+            if memory is None or ref.array not in memory:
+                diags.append(Diagnostic(
+                    Severity.ERROR, "dsr", "unknown-array",
+                    f"instruction {instr_name!r} references allocation "
+                    f"{ref.array!r} which does not exist in tile memory",
+                    where=pos, hint="allocate it, or fix the declared name",
+                ))
+                return False
+            n = memory.get(ref.array).size
+            if ref.length <= 0:
+                return True
+            last = ref.offset + (ref.length - 1) * ref.stride
+            if ref.offset < 0 or not (0 <= last < n):
+                diags.append(Diagnostic(
+                    Severity.ERROR, "dsr", "out-of-bounds",
+                    f"descriptor on {ref.array!r} in {instr_name!r} overruns "
+                    f"its array: offset={ref.offset} stride={ref.stride} "
+                    f"length={ref.length} reaches index {last} of {n}",
+                    where=pos, hint="shrink the extent or fix the offset",
+                ))
+                return False
+            return True
+
+        for tname, task in decl.tasks.items():
+            writers: list[tuple[object, MemRef]] = []  # (slot, ref)
+            for instr in task.launches:
+                refs = [r for r in (instr.dst, *instr.srcs)
+                        if isinstance(r, MemRef)]
+                ok = all([_check_ref(r, instr.name or instr.op) for r in refs])
+                if ok and isinstance(instr.dst, MemRef):
+                    slot = "main" if instr.thread is None else instr.thread
+                    writers.append((slot, instr.dst, instr.name or instr.op))
+
+            for i in range(len(writers)):
+                for j in range(i + 1, len(writers)):
+                    slot_a, ref_a, name_a = writers[i]
+                    slot_b, ref_b, name_b = writers[j]
+                    if slot_a == slot_b:  # same thread slot: sequential
+                        continue
+                    if ref_a.array != ref_b.array:
+                        continue
+                    if _ranges_overlap(_mem_indices(ref_a),
+                                       _mem_indices(ref_b)):
+                        diags.append(Diagnostic(
+                            Severity.ERROR, "dsr", "write-race",
+                            f"task {tname!r} launches {name_a!r} (thread "
+                            f"{slot_a}) and {name_b!r} (thread {slot_b}) with "
+                            f"overlapping write ranges on {ref_a.array!r}",
+                            where=pos,
+                            hint="serialize them on one thread or split the "
+                                 "output ranges",
+                        ))
+    return diags
+
+
+# ----------------------------------------------------------------------
+# SRAM budget
+# ----------------------------------------------------------------------
+def sram_pass(
+    fabric: Fabric, cores, budget: int | None = None
+) -> tuple[list[Diagnostic], list[str]]:
+    """Per-tile SRAM occupancy vs the 48 KB cap, with a worst-tile note.
+
+    The budget defaults to each core's machine configuration
+    (``config.memory_per_tile``); pass ``budget`` to override.  Applies
+    to every core exposing a :class:`~repro.wse.memory.TileMemory`,
+    declarations or not.
+    """
+    diags: list[Diagnostic] = []
+    worst: tuple[int, tuple[int, int], int] | None = None  # used, pos, cap
+    for pos, core in cores:
+        memory = getattr(core, "memory", None)
+        if memory is None or not hasattr(memory, "bytes_used"):
+            continue
+        cap = budget
+        if cap is None:
+            config = getattr(core, "config", None)
+            cap = getattr(config, "memory_per_tile", None) or memory.capacity
+        used = memory.bytes_used
+        if worst is None or used > worst[0]:
+            worst = (used, pos, cap)
+        if used > cap:
+            diags.append(Diagnostic(
+                Severity.ERROR, "sram", "over-budget",
+                f"tile allocates {used} B but the per-tile SRAM budget is "
+                f"{cap} B ({used - cap} B over)",
+                where=pos,
+                hint="shrink the local block (fewer Z planes / smaller "
+                     "b x b block) or free dead arrays",
+            ))
+    notes: list[str] = []
+    if worst is not None:
+        used, pos, cap = worst
+        notes.append(
+            f"sram: worst tile ({pos[0]},{pos[1]}) uses {used}/{cap} B "
+            f"({100.0 * used / cap:.1f}%)"
+        )
+    return diags, notes
+
+
+# ----------------------------------------------------------------------
+# Precision lint
+# ----------------------------------------------------------------------
+def precision_pass(fabric: Fabric, cores) -> list[Diagnostic]:
+    """Mixed-precision hazard lint (paper section VI).
+
+    Flags scalar reductions (``mac`` into a :class:`ScalarRef`) whose
+    accumulator is fp16: a dot product over a Z-column accumulated at
+    fp16 loses the very bits the paper's "mixed 16-bit multiply / 32-bit
+    add" hardware instruction exists to keep.  Element-wise fp16 FMA
+    chains (the 2D kernel's nine-leg stencil accumulate) are the
+    intended use of fp16 storage and are not flagged.
+    """
+    diags: list[Diagnostic] = []
+    for pos, core in _decl_cores(cores):
+        for tname, instr in _decl_of(core).instructions():
+            dst = instr.dst
+            if not isinstance(dst, ScalarRef):
+                continue
+            try:
+                dtype = np.dtype(dst.dtype)
+            except TypeError:
+                diags.append(Diagnostic(
+                    Severity.ERROR, "precision", "unknown-dtype",
+                    f"scalar accumulator in {instr.name or instr.op!r} "
+                    f"declares unparseable dtype {dst.dtype!r}",
+                    where=pos, hint="use a numpy dtype name like 'float32'",
+                ))
+                continue
+            if instr.op == "mac" and dtype == np.float16:
+                diags.append(Diagnostic(
+                    Severity.ERROR, "precision", "fp16-accumulator",
+                    f"reduction {instr.name or 'mac'!r} (length "
+                    f"{instr.length}) accumulates into an fp16 scalar — "
+                    "roundoff grows with the reduction length",
+                    where=pos,
+                    hint="accumulate at fp32 (the hardware's mixed dot "
+                         "instruction), as the paper's section VI study does",
+                ))
+    return diags

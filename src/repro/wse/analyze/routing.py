@@ -1,0 +1,166 @@
+"""Routing pass: completeness and per-loop cycle detection.
+
+The paper's routes are "configured offline, as part of compilation"
+(section II.A), so a misroute is a compile-time error.  Three finding
+kinds:
+
+* ``missing-core`` — a route delivers to 'C' on a tile with no core;
+* ``off-fabric`` — an output port points off the fabric edge;
+* ``dead-end`` — a forwarded word arrives at a router with no
+  continuation route for its (channel, port);
+* ``cycle`` — a directed loop in a channel's forwarding graph.  Words
+  entering the loop circulate forever (livelock) or wedge the channel
+  under back-pressure.  Every distinct loop is reported: loops are the
+  cyclic strongly connected components of the forwarding graph, so two
+  disjoint misconfigured rings on one channel yield two findings, not
+  one.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Diagnostic, Severity
+from ..fabric import Fabric, OPPOSITE, Port
+
+__all__ = ["routing_pass", "routes_by_channel", "forwarding_graph", "cyclic_sccs"]
+
+
+def routes_by_channel(fabric: Fabric) -> dict[int, dict]:
+    """channel -> {((x, y), in_port): out_ports} over the whole fabric."""
+    chans: dict[int, dict] = {}
+    for y in range(fabric.height):
+        for x in range(fabric.width):
+            for (channel, in_port), outs in fabric.router(x, y).routes.items():
+                chans.setdefault(channel, {})[((x, y), in_port)] = outs
+    return chans
+
+
+def forwarding_graph(fabric: Fabric, route_map: dict) -> dict:
+    """One channel's forwarding graph: (pos, in_port) -> successor nodes."""
+    graph: dict[tuple, list[tuple]] = {}
+    for (pos, in_port), outs in route_map.items():
+        edges = []
+        x, y = pos
+        for out in outs:
+            if out == Port.CORE:
+                continue
+            nb = fabric.neighbor(x, y, out)
+            if nb is None:
+                continue
+            nxt = (nb, OPPOSITE[out])
+            if nxt in route_map:
+                edges.append(nxt)
+        graph[(pos, in_port)] = edges
+    return graph
+
+
+def cyclic_sccs(graph: dict) -> list[tuple]:
+    """Strongly connected components that contain a directed cycle.
+
+    Iterative Tarjan.  Returns each cyclic SCC as a sorted tuple of
+    nodes, ordered by smallest member — one entry per distinct
+    forwarding loop.
+    """
+    index: dict = {}
+    lowlink: dict = {}
+    on_stack: set = set()
+    stack: list = []
+    sccs: list[tuple] = []
+    counter = [0]
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work = [(root, iter(graph[root]))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = lowlink[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(graph[nxt])))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                comp = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    comp.append(member)
+                    if member == node:
+                        break
+                has_cycle = len(comp) > 1 or node in graph.get(node, ())
+                if has_cycle:
+                    sccs.append(tuple(sorted(comp)))
+    return sorted(sccs, key=lambda c: c[0])
+
+
+def _fmt_loop(scc: tuple, limit: int = 6) -> str:
+    shown = [f"({x},{y})·{port}" for (x, y), port in scc[:limit]]
+    tail = f" ... +{len(scc) - limit} more" if len(scc) > limit else ""
+    return " ".join(shown) + tail
+
+
+def routing_pass(fabric: Fabric) -> list[Diagnostic]:
+    """Run completeness and cycle checks; returns the findings."""
+    diags: list[Diagnostic] = []
+    for channel, route_map in sorted(routes_by_channel(fabric).items()):
+        # ---- completeness ------------------------------------------------
+        for (pos, in_port), outs in route_map.items():
+            x, y = pos
+            for out in outs:
+                if out == Port.CORE:
+                    if fabric.core(x, y) is None:
+                        diags.append(Diagnostic(
+                            Severity.ERROR, "routing", "missing-core",
+                            "route delivers to 'C' but no core is attached",
+                            where=pos, channel=channel,
+                            hint="attach a core or drop the 'C' output",
+                        ))
+                    continue
+                nb = fabric.neighbor(x, y, out)
+                if nb is None:
+                    diags.append(Diagnostic(
+                        Severity.ERROR, "routing", "off-fabric",
+                        f"output port {out} points off the fabric edge",
+                        where=pos, channel=channel,
+                        hint="clip edge-tile routes to in-bounds ports",
+                    ))
+                    continue
+                arrive = OPPOSITE[out]
+                if (nb, arrive) not in route_map:
+                    diags.append(Diagnostic(
+                        Severity.ERROR, "routing", "dead-end",
+                        f"words arriving on port {arrive} (sent from "
+                        f"{pos} via {out}) have no route",
+                        where=nb, channel=channel,
+                        hint="add a continuation route or terminate at a core",
+                    ))
+
+        # ---- cycle detection: one finding per distinct loop -------------
+        graph = forwarding_graph(fabric, route_map)
+        for scc in cyclic_sccs(graph):
+            (pos, port) = scc[0]
+            diags.append(Diagnostic(
+                Severity.ERROR, "routing", "cycle",
+                f"forwarding loop through {len(scc)} router port(s): "
+                f"{_fmt_loop(scc)} — words on this channel can circulate "
+                "indefinitely",
+                where=pos, channel=channel,
+                hint="break the loop with a core delivery or re-route",
+            ))
+    return diags

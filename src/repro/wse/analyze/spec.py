@@ -1,0 +1,175 @@
+"""The static program declaration IR consumed by the analyzer.
+
+On the CS-1 everything the analyzer needs — routes, tensor descriptors,
+task wiring — exists *before* the first cycle, because the compiler laid
+it all out offline (paper section II.A).  Our simulator builds the same
+structures, but most instructions are instantiated lazily inside task
+bodies, which are opaque Python closures.  This module is the bridge: a
+program builder declares, at build time, the instructions each task will
+launch and the scheduler actions each task body performs, using
+lightweight *reference* values instead of live runtime descriptors.
+
+Deliberately, none of these specs validate anything at construction
+time (unlike :class:`repro.wse.dsr.MemCursor`, which raises on an
+out-of-range extent).  Validation is the analyzer's job — it *reports*
+instead of raising, so a whole program's defects surface in one pass.
+
+References resolve against runtime state by name:
+
+* :class:`MemRef` — a tensor descriptor over a named
+  :class:`~repro.wse.memory.TileMemory` allocation;
+* :class:`FabricRef` — a fabric descriptor on a virtual channel
+  (a transmit stream when used as a destination, a receive stream when
+  used as a source);
+* :class:`FifoRef` — a hardware FIFO endpoint, by FIFO name (a push
+  when used as a destination, a pop when used as a source);
+* :class:`ScalarRef` — a scalar accumulator register, by dtype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dsr import Action
+
+__all__ = [
+    "BUILD_LAUNCH",
+    "MemRef",
+    "ScalarRef",
+    "FabricRef",
+    "FifoRef",
+    "InstrDecl",
+    "TaskDecl",
+    "ProgramDecl",
+]
+
+#: Pseudo-task name for instructions launched directly at build time
+#: (outside any scheduler task).  The task-graph pass treats it as
+#: always runnable and does not require it in the scheduler.
+BUILD_LAUNCH = "__launch__"
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A memory tensor descriptor: named allocation + offset/length/stride."""
+
+    array: str
+    offset: int = 0
+    length: int = 0
+    stride: int = 1
+
+    def indices(self) -> range | tuple[int, ...]:
+        """The element indices the descriptor touches (build order)."""
+        return tuple(self.offset + k * self.stride for k in range(self.length))
+
+
+@dataclass(frozen=True)
+class ScalarRef:
+    """A scalar accumulator register (the dot instruction's target)."""
+
+    dtype: str = "float32"
+
+
+@dataclass(frozen=True)
+class FabricRef:
+    """A fabric stream descriptor: ``length`` words on ``channel``."""
+
+    channel: int
+    length: int
+
+
+@dataclass(frozen=True)
+class FifoRef:
+    """A hardware-FIFO endpoint: ``length`` words through FIFO ``fifo``."""
+
+    fifo: str
+    length: int = 0
+
+
+@dataclass(frozen=True)
+class InstrDecl:
+    """One planned vector instruction.
+
+    ``thread`` mirrors :meth:`repro.wse.core.Core.launch`: a background
+    slot index, or None for the synchronous main queue.  ``completions``
+    is a tuple of ``(task_name, Action)`` pairs fired when the
+    instruction finishes.
+    """
+
+    op: str
+    dst: object
+    srcs: tuple = ()
+    length: int = 0
+    thread: int | None = None
+    completions: tuple[tuple[str, Action], ...] = ()
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class TaskDecl:
+    """One task's static contract.
+
+    Attributes
+    ----------
+    launches:
+        Instructions the task body launches.
+    actions:
+        Direct scheduler manipulations the body performs, as
+        ``(task_name, Action)`` pairs (listing 1's explicit ``block()``
+        / ``unblock()`` / ``activate()`` calls).
+    drains:
+        Names of hardware FIFOs the body pops in a loop (the SpMV sum
+        task's accumulation drain).
+    """
+
+    name: str
+    launches: tuple[InstrDecl, ...] = ()
+    actions: tuple[tuple[str, Action], ...] = ()
+    drains: tuple[str, ...] = ()
+
+
+class ProgramDecl:
+    """A core's whole static program declaration: one TaskDecl per task.
+
+    Builders populate this as they construct the runtime program; the
+    analyzer reads it back.  An empty declaration means "this core opted
+    out of instruction-level analysis" (routing and SRAM checks still
+    apply).
+    """
+
+    def __init__(self) -> None:
+        self.tasks: dict[str, TaskDecl] = {}
+
+    def task(
+        self,
+        name: str,
+        launches=(),
+        actions=(),
+        drains=(),
+    ) -> TaskDecl:
+        """Declare one task's contract; returns the :class:`TaskDecl`."""
+        if name in self.tasks:
+            raise ValueError(f"task {name!r} already declared")
+        decl = TaskDecl(name, tuple(launches), tuple(actions), tuple(drains))
+        self.tasks[name] = decl
+        return decl
+
+    def launched(self, *instrs: InstrDecl) -> TaskDecl:
+        """Declare build-time (taskless) instruction launches."""
+        existing = self.tasks.get(BUILD_LAUNCH)
+        if existing is not None:
+            del self.tasks[BUILD_LAUNCH]
+            instrs = existing.launches + tuple(instrs)
+        return self.task(BUILD_LAUNCH, launches=tuple(instrs))
+
+    def instructions(self):
+        """Iterate ``(task_name, InstrDecl)`` over the whole program."""
+        for name, task in self.tasks.items():
+            for instr in task.launches:
+                yield name, instr
+
+    def __bool__(self) -> bool:
+        return bool(self.tasks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tasks

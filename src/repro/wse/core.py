@@ -20,6 +20,7 @@ from collections import deque
 
 import numpy as np
 
+from .analyze.spec import ProgramDecl
 from .config import MachineConfig
 from .dsr import FabricRx, Instruction
 from .fifo import HardwareFifo
@@ -57,6 +58,13 @@ class Core:
         self.cycles_active = 0
         #: Set by completion-tree terminal tasks; polled by simulations.
         self.flags: dict[str, bool] = {}
+        #: Hardware FIFOs created via :meth:`make_fifo`, by name.
+        self.fifos: dict[str, HardwareFifo] = {}
+        #: Static program declaration for the analyzer
+        #: (:mod:`repro.wse.analyze`).  Builders populate this alongside
+        #: the runtime program; empty means "opted out of
+        #: instruction-level analysis".
+        self.program_decl = ProgramDecl()
 
     # ------------------------------------------------------------------
     # Fabric endpoints
@@ -106,13 +114,21 @@ class Core:
         """Channels with pending outgoing words."""
         return [c for c, q in self._tx.items() if q]
 
+    def subscriber_count(self, channel: int) -> int:
+        """How many arrival queues are subscribed to ``channel``."""
+        return len(self._subscribers.get(int(channel), ()))
+
     # ------------------------------------------------------------------
     # Program construction helpers
     # ------------------------------------------------------------------
     def make_fifo(self, name: str, capacity: int = 20, activates: str | None = None) -> HardwareFifo:
         """Create a hardware FIFO, optionally activating a task on push."""
+        if name in self.fifos:
+            raise ValueError(f"FIFO {name!r} already exists on this core")
         on_push = (lambda: self.scheduler.activate(activates)) if activates else None
         fifo = HardwareFifo(name, capacity, on_push)
+        fifo.activates = activates
+        self.fifos[name] = fifo
         return fifo
 
     def launch(self, instr: Instruction, thread: int | None = None) -> None:

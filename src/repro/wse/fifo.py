@@ -36,6 +36,10 @@ class HardwareFifo:
         self.name = name
         self.capacity = int(capacity)
         self.on_push = on_push
+        #: Name of the task ``on_push`` activates, when wired through
+        #: :meth:`repro.wse.core.Core.make_fifo` — static metadata the
+        #: analyzer reads (the callback itself is opaque).
+        self.activates: str | None = None
         self._buf: deque = deque()
         self.total_pushed = 0
         self.high_water = 0

@@ -74,6 +74,10 @@ class TaskScheduler:
     def __contains__(self, name: str) -> bool:
         return name in self._tasks
 
+    def names(self) -> list[str]:
+        """All registered task names, in registration order."""
+        return list(self._tasks)
+
     # ------------------------------------------------------------------
     # State manipulation (the block()/unblock()/activate() instructions)
     # ------------------------------------------------------------------

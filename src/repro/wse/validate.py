@@ -2,141 +2,57 @@
 
 The real system's routes are "configured offline, as part of
 compilation" (paper section II.A) — which means misroutes are compile
-errors, not runtime hangs.  This module provides the corresponding
-static checks for our simulated fabrics, so program builders can verify
-a routing configuration *before* running it:
+errors, not runtime hangs.  This module is the original, routing-only
+entry point; the checks themselves now live in the whole-program
+analyzer's routing pass (:mod:`repro.wse.analyze.routing`), which also
+reports *every* distinct forwarding loop per channel rather than the
+first one found.  :func:`validate_routing` and :func:`check_routing`
+remain as thin backward-compatible wrappers.
 
-* **completeness** — every route's output must land somewhere that can
-  consume it: an in-bounds neighbour that has a continuation route (or
-  delivery) for the same channel, or a core (for 'C' outputs);
-* **cycle detection** — a channel whose forwarding graph contains a
-  directed cycle without a core exit can circulate words forever
-  (livelock) or deadlock under back-pressure; flagged per channel.
-
-``Fabric.run`` already fails loudly at runtime; these checks catch the
-same classes of bug without simulating a single cycle.
+For full-program analysis (flow conservation, task graph, DSR bounds,
+SRAM budget, precision), use :func:`repro.wse.analyze.analyze_program`.
 """
 
 from __future__ import annotations
 
-from .fabric import DIRECTION, Fabric, OPPOSITE, Port
+from dataclasses import dataclass
+
+from .analyze.routing import routing_pass
+from .fabric import Fabric
 
 __all__ = ["RoutingIssue", "validate_routing", "check_routing"]
 
 
+@dataclass(frozen=True)
 class RoutingIssue:
-    """One problem found in a routing configuration."""
+    """One problem found in a routing configuration.
 
-    def __init__(self, kind: str, channel: int, where: tuple[int, int],
-                 detail: str):
-        self.kind = kind
-        self.channel = channel
-        self.where = where
-        self.detail = detail
+    A frozen dataclass with value equality, so tests can assert on
+    findings directly (``issue == RoutingIssue(...)``) instead of
+    string-matching reprs.
+    """
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"RoutingIssue({self.kind!r}, channel={self.channel}, "
-                f"at={self.where}: {self.detail})")
+    kind: str
+    channel: int
+    where: tuple[int, int]
+    detail: str
 
     def __str__(self) -> str:
         x, y = self.where
         return f"[{self.kind}] channel {self.channel} at ({x},{y}): {self.detail}"
 
 
-def _routes_by_channel(fabric: Fabric):
-    """channel -> list of ((x, y), in_port, out_ports)."""
-    chans: dict[int, list] = {}
-    for y in range(fabric.height):
-        for x in range(fabric.width):
-            for (channel, in_port), outs in fabric.router(x, y).routes.items():
-                chans.setdefault(channel, []).append(((x, y), in_port, outs))
-    return chans
-
-
 def validate_routing(fabric: Fabric) -> list[RoutingIssue]:
-    """Run all static checks; returns the issues found (empty = clean)."""
-    issues: list[RoutingIssue] = []
-    chans = _routes_by_channel(fabric)
+    """Run all static routing checks; returns the issues found.
 
-    for channel, routes in sorted(chans.items()):
-        route_map = {(pos, in_port): outs for pos, in_port, outs in routes}
-
-        # ---- completeness ------------------------------------------------
-        for (pos, in_port), outs in route_map.items():
-            x, y = pos
-            for out in outs:
-                if out == Port.CORE:
-                    if fabric.core(x, y) is None:
-                        issues.append(RoutingIssue(
-                            "missing-core", channel, pos,
-                            "route delivers to 'C' but no core is attached",
-                        ))
-                    continue
-                nb = fabric.neighbor(x, y, out)
-                if nb is None:
-                    issues.append(RoutingIssue(
-                        "off-fabric", channel, pos,
-                        f"output port {out} points off the fabric edge",
-                    ))
-                    continue
-                arrive = OPPOSITE[out]
-                if ((nb, arrive)) not in route_map:
-                    issues.append(RoutingIssue(
-                        "dead-end", channel, nb,
-                        f"words arriving on port {arrive} (sent from "
-                        f"{pos} via {out}) have no route",
-                    ))
-
-        # ---- cycle detection --------------------------------------------
-        # Nodes are (pos, in_port); edges follow non-core outputs.
-        graph: dict[tuple, list[tuple]] = {}
-        for (pos, in_port), outs in route_map.items():
-            edges = []
-            x, y = pos
-            for out in outs:
-                if out == Port.CORE:
-                    continue
-                nb = fabric.neighbor(x, y, out)
-                if nb is None:
-                    continue
-                nxt = (nb, OPPOSITE[out])
-                if nxt in route_map:
-                    edges.append(nxt)
-            graph[(pos, in_port)] = edges
-
-        WHITE, GRAY, BLACK = 0, 1, 2
-        color = {node: WHITE for node in graph}
-
-        def dfs(start) -> tuple | None:
-            stack = [(start, iter(graph[start]))]
-            color[start] = GRAY
-            while stack:
-                node, it = stack[-1]
-                advanced = False
-                for nxt in it:
-                    if color[nxt] == GRAY:
-                        return nxt
-                    if color[nxt] == WHITE:
-                        color[nxt] = GRAY
-                        stack.append((nxt, iter(graph[nxt])))
-                        advanced = True
-                        break
-                if not advanced:
-                    color[node] = BLACK
-                    stack.pop()
-            return None
-
-        for node in graph:
-            if color[node] == WHITE:
-                hit = dfs(node)
-                if hit is not None:
-                    issues.append(RoutingIssue(
-                        "cycle", channel, hit[0],
-                        f"forwarding loop through port {hit[1]} — words on "
-                        "this channel can circulate indefinitely",
-                    ))
-                    break  # one report per channel is enough
-    return issues
+    Wraps the analyzer's routing pass: completeness (``missing-core``,
+    ``off-fabric``, ``dead-end``) plus cycle detection with one
+    ``cycle`` issue per distinct forwarding loop.
+    """
+    return [
+        RoutingIssue(d.kind, d.channel, d.where, d.message)
+        for d in routing_pass(fabric)
+    ]
 
 
 def check_routing(fabric: Fabric) -> None:

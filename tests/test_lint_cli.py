@@ -1,0 +1,38 @@
+"""Smoke tests for the ``python -m repro lint`` CLI path."""
+
+from repro.cli import main
+from repro.wse.analyze.lint import lint_report_text, lint_reports
+
+
+class TestLintCli:
+    def test_lint_exit_code_zero(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "LINT OK" in out
+        assert "clean (0 diagnostics)" in out
+
+    def test_every_shipped_program_listed(self, capsys):
+        main(["lint"])
+        out = capsys.readouterr().out
+        for name in ("spmv3d-3x3x6", "spmv3d-two-sum-tasks", "spmv3d-1x1x8",
+                     "spmv2d-6x6-b3x3", "axpy-32", "dot-32", "allreduce-6x4"):
+            assert name in out
+
+    def test_lint_reports_all_clean(self):
+        reports = lint_reports()
+        assert len(reports) == 7
+        for name, report in reports:
+            assert report.ok, f"{name}:\n{report.format()}"
+
+    def test_report_registry_entry(self):
+        from repro.analysis.reports import REPORTS
+
+        assert "lint" in REPORTS
+        assert "LINT OK" in REPORTS["lint"]()
+
+    def test_listed_in_help(self, capsys):
+        main(["list"])
+        assert "lint" in capsys.readouterr().out
+
+    def test_text_and_cli_agree(self):
+        assert lint_report_text().endswith("LINT OK")

@@ -98,3 +98,37 @@ class TestValidate:
 
     def test_empty_fabric_clean(self):
         assert validate_routing(Fabric(3, 3)) == []
+
+
+class TestRoutingIssueValues:
+    def test_value_equality(self):
+        """RoutingIssue is a frozen dataclass — assert on values, not reprs."""
+        from repro.wse.validate import RoutingIssue
+
+        f = _fabric_with_cores(3, 1)
+        f.router(0, 0).set_route(0, Port.CORE, (Port.EAST,))
+        issues = validate_routing(f)
+        assert issues == [RoutingIssue(
+            "dead-end", 0, (1, 0),
+            "words arriving on port W (sent from (0, 0) via E) have no route",
+        )]
+
+    def test_frozen(self):
+        import pytest as _pytest
+
+        from repro.wse.validate import RoutingIssue
+
+        issue = RoutingIssue("dead-end", 0, (1, 0), "detail")
+        with _pytest.raises(AttributeError):
+            issue.kind = "cycle"
+
+    def test_every_distinct_loop_reported(self):
+        """Two disjoint forwarding rings on one channel: two findings."""
+        f = _fabric_with_cores(4, 1)
+        f.router(0, 0).set_route(0, Port.EAST, (Port.EAST,))
+        f.router(1, 0).set_route(0, Port.WEST, (Port.WEST,))
+        f.router(2, 0).set_route(0, Port.EAST, (Port.EAST,))
+        f.router(3, 0).set_route(0, Port.WEST, (Port.WEST,))
+        issues = [i for i in validate_routing(f) if i.kind == "cycle"]
+        assert len(issues) == 2
+        assert sorted(i.where for i in issues) == [(0, 0), (2, 0)]
