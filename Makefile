@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test lint bench bench-verbose examples report all clean
+.PHONY: install test lint bench bench-smoke bench-verbose examples report all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -16,6 +16,13 @@ lint:
 	@python -c "import pyflakes" 2>/dev/null \
 		&& python -m pyflakes src \
 		|| echo "pyflakes not installed; skipped"
+
+# Engine regression smoke: active-set vs pre-PR stepping on a small
+# BiCGStab DES workload; writes BENCH_des.json (cycles/sec, words/sec,
+# fabric size) and fails on any engine-equivalence mismatch.  Drop
+# --quick for the full 48x48 headline measurement.
+bench-smoke:
+	PYTHONPATH=src python benchmarks/bench_des_engine.py --quick
 
 bench:
 	pytest benchmarks/ --benchmark-only -q

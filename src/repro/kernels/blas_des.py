@@ -133,24 +133,24 @@ def run_axpy_des(
     y: np.ndarray,
     config: MachineConfig = CS1,
     analyze: bool = False,
+    engine: str = "active",
 ) -> tuple[np.ndarray, int]:
     """AXPY ``y + a*x`` as one tile instruction.
 
     Returns ``(result fp16 array, cycles)``.  The cycle count is the
     SIMD-4 streaming cost plus the single launch cycle; the result is
     bit-identical to :func:`repro.precision.ops.axpy` in mixed mode
-    (tested).
+    (tested).  ``engine`` selects the fabric stepping engine.
     """
     fabric, out, instr = build_axpy_fabric(a, x, y, config, analyze=analyze)
-    core = fabric.core(0, 0)
+    fabric.engine = engine
     n = out.size
-    cycles = 0
+    start = fabric.cycle
     while not instr.finished:
-        core.step()
-        cycles += 1
-        if cycles > 10 * n + 10:  # pragma: no cover - defensive
+        fabric.step()
+        if fabric.cycle - start > 10 * n + 10:  # pragma: no cover - defensive
             raise RuntimeError("AXPY program did not finish")
-    return out.copy(), cycles
+    return out.copy(), fabric.cycle - start
 
 
 def run_dot_des(
@@ -158,19 +158,20 @@ def run_dot_des(
     y: np.ndarray,
     config: MachineConfig = CS1,
     analyze: bool = False,
+    engine: str = "active",
 ) -> tuple[float, int]:
     """The mixed-precision dot as one tile instruction.
 
     fp16 operands, exact products (fp32), fp32 accumulation, at the
     hardware's 2 elements per cycle.  Returns ``(value, cycles)``.
+    ``engine`` selects the fabric stepping engine.
     """
     fabric, acc, instr = build_dot_fabric(x, y, config, analyze=analyze)
-    core = fabric.core(0, 0)
+    fabric.engine = engine
     n = np.asarray(x).size
-    cycles = 0
+    start = fabric.cycle
     while not instr.finished:
-        core.step()
-        cycles += 1
-        if cycles > 10 * n + 10:  # pragma: no cover - defensive
+        fabric.step()
+        if fabric.cycle - start > 10 * n + 10:  # pragma: no cover - defensive
             raise RuntimeError("dot program did not finish")
-    return float(acc.value), cycles
+    return float(acc.value), fabric.cycle - start

@@ -314,6 +314,7 @@ def build_spmv2d_fabric(
     block_shape: tuple[int, int],
     config: MachineConfig = CS1,
     analyze: bool = False,
+    engine: str = "active",
 ) -> tuple[Fabric, list[list[_TileProgram]]]:
     """Construct the block-mapped fabric for one 2D SpMV.
 
@@ -340,6 +341,7 @@ def build_spmv2d_fabric(
             )
     if analyze:
         analyze_program(fabric).raise_on_error()
+    fabric.engine = engine
     return fabric, programs
 
 
@@ -350,22 +352,24 @@ def run_spmv2d_des(
     config: MachineConfig = CS1,
     max_cycles: int = 500_000,
     analyze: bool = False,
+    engine: str = "active",
 ) -> tuple[np.ndarray, int]:
     """Run the 2D-mapping SpMV on the tile simulator.
 
     Returns ``(u, cycles)`` with ``u`` the assembled fp16-arithmetic
-    result (float64-valued array).
+    result (float64-valued array).  ``engine`` selects the fabric
+    stepping engine (``"active"`` or the ``"reference"`` sweep).
     """
     nx, ny = op.shape
     bx, by = block_shape
     fabric, programs = build_spmv2d_fabric(op, v, block_shape, config,
-                                           analyze=analyze)
+                                           analyze=analyze, engine=engine)
     px, py = nx // bx, ny // by
 
     def finished(f: Fabric) -> bool:
-        return all(
+        return f.quiescent() and all(
             programs[bj][bi].done for bj in range(py) for bi in range(px)
-        ) and f.quiescent()
+        )
 
     cycles = fabric.run(max_cycles=max_cycles, until=finished)
     u = np.empty(op.shape)

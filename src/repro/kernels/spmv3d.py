@@ -180,15 +180,28 @@ def _build_tile_program(
 
     # --- Tasks -----------------------------------------------------------
     def _drain(names):
-        def body(c: Core) -> None:
+        pairs = [(fifos[name], accs[name]) for name in names]
+
+        def body(c: Core, _pairs=pairs) -> None:
             # Drain the FIFOs into their accumulators; fp16 adds, in
-            # arrival order.
-            for name in names:
-                fifo = fifos[name]
-                acc = accs[name]
-                while not fifo.empty and acc.can_write():
-                    val = fifo.pop()
-                    acc.write(acc.peek() + val)
+            # arrival order.  Hot path: operate on the FIFO buffer and
+            # accumulator array directly (same semantics as
+            # pop()/peek()/write(), minus the per-element calls).
+            for fifo, acc in _pairs:
+                buf = fifo._buf
+                if not buf:
+                    continue
+                arr = acc.array
+                offset = acc.offset
+                stride = acc.stride
+                pos = acc.pos
+                length = acc.length
+                popleft = buf.popleft
+                while buf and pos < length:
+                    idx = offset + pos * stride
+                    arr[idx] = arr[idx] + popleft()
+                    pos += 1
+                acc.pos = pos
         return body
 
     decl = core.program_decl
@@ -223,6 +236,21 @@ def _build_tile_program(
     core.scheduler.add("spmv_exit", spmv_exit)
     decl.task("spmv_exit")
 
+    # Instruction cache: a persistent program re-issues the same thread
+    # instructions every run.  Descriptor bindings never change between
+    # runs (the arrays are updated in place), so each Instruction is
+    # built once and rewound thereafter — recreating ~8 instructions per
+    # tile per run dominated warm-run cost on large fabrics.
+    instr_cache: dict[str, Instruction] = {}
+
+    def _issue(key: str, make, thread: int | None) -> None:
+        instr = instr_cache.get(key)
+        if instr is None:
+            instr_cache[key] = instr = make()
+        else:
+            instr.rewind()
+        core.launch(instr, thread=thread)
+
     def launch_threads(c: Core) -> None:
         # The five FIFO-writing threads plus the diagonal add, launched
         # after the synchronous z-leg completes (listing order).
@@ -234,7 +262,7 @@ def _build_tile_program(
                 c.scheduler.apply(trig.task, trig.action)
                 continue
             q, ch = rx_queues[name]
-            instr = Instruction(
+            _issue(name, lambda name=name, q=q, ch=ch: Instruction(
                 op="mul",
                 dst=FifoPush(fifos[name], Z, name=f"{name}_fifo_push"),
                 srcs=[
@@ -244,33 +272,26 @@ def _build_tile_program(
                 length=Z,
                 completions=[_TRIGGERS[name]],
                 name=f"{name}_thread",
-            )
-            c.launch(instr, thread=_THREAD[name])
-        c.launch(
-            Instruction(
-                op="mul",
-                dst=FifoPush(fifos["z"], Z, name="z_fifo_push"),
-                srcs=[
-                    FabricRx(q_z, Z, own_ch, name="z_rx"),
-                    MemCursor(zloop, 0, Z, name="zloop_a"),
-                ],
-                length=Z,
-                completions=[_TRIGGERS["z"]],
-                name="z_thread",
-            ),
-            thread=_THREAD["z"],
-        )
-        c.launch(
-            Instruction(
-                op="addin",
-                dst=MemCursor(u, 1, Z, name="c_acc"),
-                srcs=[FabricRx(q_c, Z, own_ch, name="c_rx")],
-                length=Z,
-                completions=[_TRIGGERS["c_add"]],
-                name="c_add_thread",
-            ),
-            thread=_THREAD["c_add"],
-        )
+            ), _THREAD[name])
+        _issue("z", lambda: Instruction(
+            op="mul",
+            dst=FifoPush(fifos["z"], Z, name="z_fifo_push"),
+            srcs=[
+                FabricRx(q_z, Z, own_ch, name="z_rx"),
+                MemCursor(zloop, 0, Z, name="zloop_a"),
+            ],
+            length=Z,
+            completions=[_TRIGGERS["z"]],
+            name="z_thread",
+        ), _THREAD["z"])
+        _issue("c_add", lambda: Instruction(
+            op="addin",
+            dst=MemCursor(u, 1, Z, name="c_acc"),
+            srcs=[FabricRx(q_c, Z, own_ch, name="c_rx")],
+            length=Z,
+            completions=[_TRIGGERS["c_add"]],
+            name="c_add_thread",
+        ), _THREAD["c_add"])
 
     core.scheduler.add("launch_rest", launch_threads)
     lr_launches: list[InstrDecl] = []
@@ -309,32 +330,26 @@ def _build_tile_program(
         for acc in accs.values():
             acc.reset()
         # c_tx[] = v1[] : broadcast the local vector (background thread).
-        c.launch(
-            Instruction(
-                op="copy",
-                dst=FabricTx(c, Z, own_ch, name="c_tx"),
-                srcs=[MemCursor(v, 0, Z, name="v1")],
-                length=Z,
-                name="c_tx_thread",
-            ),
-            thread=_THREAD["c_tx"],
-        )
+        _issue("c_tx", lambda: Instruction(
+            op="copy",
+            dst=FabricTx(c, Z, own_ch, name="c_tx"),
+            srcs=[MemCursor(v, 0, Z, name="v1")],
+            length=Z,
+            name="c_tx_thread",
+        ), _THREAD["c_tx"])
         # zm_acc[] = v0[] * zm_a[] : synchronous main-thread multiply that
         # initializes the result; its completion launches the rest.
-        c.launch(
-            Instruction(
-                op="mul",
-                dst=MemCursor(u, 0, Z + 1, name="zinit_acc"),
-                srcs=[
-                    MemCursor(v, 0, Z + 1, name="v0"),
-                    MemCursor(zinit, 0, Z + 1, name="zinit_a"),
-                ],
-                length=Z + 1,
-                completions=[Completion("launch_rest", Action.ACTIVATE)],
-                name="zinit_thread",
-            ),
-            thread=None,
-        )
+        _issue("zinit", lambda: Instruction(
+            op="mul",
+            dst=MemCursor(u, 0, Z + 1, name="zinit_acc"),
+            srcs=[
+                MemCursor(v, 0, Z + 1, name="v0"),
+                MemCursor(zinit, 0, Z + 1, name="zinit_a"),
+            ],
+            length=Z + 1,
+            completions=[Completion("launch_rest", Action.ACTIVATE)],
+            name="zinit_thread",
+        ), thread=None)
 
     core.scheduler.add("spmv", spmv_task)
     core.scheduler.activate("spmv")
@@ -386,6 +401,7 @@ def build_spmv_fabric(
             )
     if analyze:
         analyze_program(fabric).raise_on_error()
+    fabric.prebind()
     return fabric, programs
 
 
@@ -403,11 +419,13 @@ class SpmvEngine:
         op: Stencil7,
         config: MachineConfig = CS1,
         fifo_capacity: int = 20,
+        engine: str = "active",
     ):
         self.op = op
         self.fabric, self.programs = build_spmv_fabric(
             op, np.zeros(op.shape), config, fifo_capacity
         )
+        self.fabric.engine = engine
         self.runs = 0
         # The build activates each tile's spmv task for a first run over
         # the zero vector; consume it so run() starts clean.
@@ -418,9 +436,11 @@ class SpmvEngine:
         start = self.fabric.cycle
 
         def finished(f: Fabric) -> bool:
-            return all(
+            # quiescent() first: under the active-set engine it rejects
+            # in O(1) while work is in flight (same conjunction).
+            return f.quiescent() and all(
                 self.programs[j][i].done for j in range(ny) for i in range(nx)
-            ) and f.quiescent()
+            )
 
         self.fabric.run(max_cycles=200_000 + start, until=finished)
         return self.fabric.cycle - start
@@ -452,6 +472,7 @@ def run_spmv_des(
     fifo_capacity: int = 20,
     max_cycles: int = 200_000,
     two_sum_tasks: bool = False,
+    engine: str = "active",
     analyze: bool = False,
 ) -> tuple[np.ndarray, int]:
     """Run the discrete simulation of one SpMV; returns ``(u, cycles)``.
@@ -463,12 +484,13 @@ def run_spmv_des(
     """
     fabric, programs = build_spmv_fabric(op, v, config, fifo_capacity,
                                          two_sum_tasks, analyze=analyze)
+    fabric.engine = engine
     nx, ny, nz = op.shape
 
     def finished(f: Fabric) -> bool:
-        return all(
+        return f.quiescent() and all(
             programs[j][i].done for j in range(ny) for i in range(nx)
-        ) and f.quiescent()
+        )
 
     cycles = fabric.run(max_cycles=max_cycles, until=finished)
     u = np.empty(op.shape, dtype=np.float64)

@@ -31,7 +31,7 @@ from .dsr import (
 from .fifo import HardwareFifo
 from .task import Task, TaskScheduler
 from .core import Core
-from .fabric import Fabric, Port, Router
+from .fabric import Fabric, FabricDeadlockError, FabricStats, Port, Router
 from .channels import (
     N_SPMV_CHANNELS,
     channel_map,
@@ -94,6 +94,8 @@ __all__ = [
     "TaskScheduler",
     "Core",
     "Fabric",
+    "FabricDeadlockError",
+    "FabricStats",
     "Port",
     "Router",
     "N_SPMV_CHANNELS",

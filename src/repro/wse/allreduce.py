@@ -54,6 +54,7 @@ __all__ = [
     "CH_BCAST",
     "allreduce_pattern",
     "ReduceCore",
+    "AllReduceEngine",
     "simulate_allreduce",
     "allreduce_latency_cycles",
     "allreduce_latency_seconds",
@@ -200,6 +201,22 @@ class ReduceCore:
         self._counts = {CH_ROW: 0, CH_COL: 0, CH_GATHER: 0}
         self._sent = {CH_ROW: False, CH_COL: False, CH_GATHER: False, CH_BCAST: False}
         self.finish_cycle: int | None = None
+        self._quiet = False
+        self.on_wake = None  # set by Fabric.attach_core
+
+    def reset(self, value: float) -> None:
+        """Re-arm the core for another collective on the same fabric."""
+        self.acc = np.float32(value)
+        self.result = None
+        self._inbox.clear()
+        self._tx.clear()
+        self._counts = {CH_ROW: 0, CH_COL: 0, CH_GATHER: 0}
+        self._sent = {
+            CH_ROW: False, CH_COL: False, CH_GATHER: False, CH_BCAST: False
+        }
+        self._quiet = False
+        if self.on_wake is not None:
+            self.on_wake()
 
     # Fabric protocol -----------------------------------------------------
     def deliver(self, channel: int, value) -> None:
@@ -214,6 +231,17 @@ class ReduceCore:
         return [self._tx[0][0]] if self._tx else []
 
     def step(self) -> int:
+        sent_before = len(self._tx)
+        work = self._advance()
+        # Sleepable once a step neither consumed nor produced anything:
+        # only a delivery (which re-wakes the core) can change its state.
+        self._quiet = work == 0 and len(self._tx) == sent_before
+        return work
+
+    def can_sleep(self) -> bool:
+        return self._quiet and not self._inbox
+
+    def _advance(self) -> int:
         work = 0
         while self._inbox:
             channel, value = self._inbox.popleft()
@@ -252,15 +280,82 @@ class ReduceCore:
         return self.result is not None and not self._tx and not self._inbox
 
 
+class AllReduceEngine:
+    """A persistent Fig. 6 collective: one compiled fabric, many reduces.
+
+    Building and binding the routing program costs far more than the
+    ~O(width + height) cycles of one collective, so callers issuing many
+    inner products (:class:`repro.kernels.bicgstab_des.DESBiCGStab`)
+    construct this once and call :meth:`reduce` per dot product.  Each
+    call re-arms every :class:`ReduceCore` in place and runs the fabric
+    from its current cycle; the returned cycle count is the delta, which
+    is identical to a fresh single-shot fabric's.
+    """
+
+    def __init__(
+        self, width: int, height: int, queue_capacity: int = 8,
+        engine: str = "active",
+    ):
+        if width < 2 or height < 2:
+            raise ValueError("AllReduce pattern needs a fabric of at least 2x2")
+        self.width = width
+        self.height = height
+        self.fabric = Fabric(width, height, queue_capacity)
+        self.fabric.engine = engine
+        compile_to_fabric(allreduce_pattern(width, height), self.fabric)
+        self.cores: list[ReduceCore] = []
+        for y in range(height):
+            for x in range(width):
+                core = ReduceCore(x, y, width, height, 0.0)
+                self.fabric.attach_core(x, y, core)
+                self.cores.append(core)
+        if engine != "reference":
+            self.fabric.prebind()
+        self.runs = 0
+
+    def reduce(self, values: np.ndarray) -> tuple[float, int]:
+        """All-reduce one grid of per-tile scalars; returns (sum, cycles)."""
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape != (self.height, self.width):
+            raise ValueError(
+                f"values shape {values.shape} does not match the "
+                f"({self.height}, {self.width}) fabric"
+            )
+        cores = self.cores
+        k = 0
+        for y in range(self.height):
+            row = values[y]
+            for x in range(self.width):
+                cores[k].reset(float(row[x]))
+                k += 1
+        fabric = self.fabric
+        start = fabric.cycle
+        fabric.run(
+            max_cycles=50 * (self.width + self.height) + 1000,
+            # quiescent() first: O(1) rejection while words are in flight.
+            until=lambda f: f.quiescent()
+            and all(c.result is not None for c in cores),
+        )
+        results = {float(c.result) for c in cores}
+        if len(results) != 1:
+            raise AssertionError(
+                f"AllReduce delivered differing results: {results}"
+            )
+        self.runs += 1
+        return results.pop(), fabric.cycle - start
+
+
 def simulate_allreduce(
-    values: np.ndarray, queue_capacity: int = 8
+    values: np.ndarray, queue_capacity: int = 8, engine: str = "active"
 ) -> tuple[float, int]:
-    """Run the collective on a simulated fabric.
+    """Run the collective on a freshly built simulated fabric.
 
     Parameters
     ----------
     values:
         Per-tile scalars, shape ``(height, width)``.
+    engine:
+        Fabric step engine: "active" (default) or "reference".
 
     Returns
     -------
@@ -271,22 +366,9 @@ def simulate_allreduce(
     """
     values = np.asarray(values, dtype=np.float32)
     height, width = values.shape
-    fabric = Fabric(width, height, queue_capacity)
-    compile_to_fabric(allreduce_pattern(width, height), fabric)
-    cores = []
-    for y in range(height):
-        for x in range(width):
-            core = ReduceCore(x, y, width, height, float(values[y, x]))
-            fabric.attach_core(x, y, core)
-            cores.append(core)
-    fabric.run(
-        max_cycles=50 * (width + height) + 1000,
-        until=lambda f: all(c.result is not None for c in cores) and f.quiescent(),
-    )
-    results = {float(c.result) for c in cores}
-    if len(results) != 1:
-        raise AssertionError(f"AllReduce delivered differing results: {results}")
-    return results.pop(), fabric.cycle
+    return AllReduceEngine(
+        width, height, queue_capacity, engine=engine
+    ).reduce(values)
 
 
 def allreduce_latency_cycles(

@@ -16,6 +16,7 @@ tests compare the two on the SpMV kernel.
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
 
 import numpy as np
@@ -39,7 +40,11 @@ class Core:
         self.config = config
         self.memory = TileMemory(config.memory_per_tile)
         self.scheduler = TaskScheduler()
+        self.scheduler.on_change = self._notify_wake
         self.threads: list[Instruction | None] = [None] * config.n_threads
+        #: Occupied background-thread slots, sorted; maintained by
+        #: :meth:`launch` / :meth:`step` so stepping skips empty slots.
+        self._occupied: list[int] = []
         #: Synchronous (main-thread) instruction queue: executed in order,
         #: the head advancing each cycle.  Listing 1's zm product runs here.
         self.main: deque[Instruction] = deque()
@@ -65,6 +70,28 @@ class Core:
         #: the runtime program; empty means "opted out of
         #: instruction-level analysis".
         self.program_decl = ProgramDecl()
+        #: Set by the fabric's active-set engine; called on any event
+        #: that could let a sleeping core make progress again (task
+        #: activation, instruction launch, word injection).
+        self.on_wake = None
+        #: True after a cycle in which nothing happened (no task ran, no
+        #: instruction advanced or finished); the sleep gate.
+        self._quiet = False
+        #: True while :meth:`step` is executing.  Events raised by the
+        #: core's own stepping (injections, self-activations) need no
+        #: wake call — the core is by definition awake, and any such
+        #: event also clears ``_quiet``, so it cannot sleep this cycle.
+        self._stepping = False
+        #: Total words across all egress queues (cheap tx_channels test).
+        self._tx_pending = 0
+        self._simd = config.simd_width_fp16
+
+    def _notify_wake(self) -> None:
+        if self._stepping:
+            return
+        cb = self.on_wake
+        if cb is not None:
+            cb()
 
     # ------------------------------------------------------------------
     # Fabric endpoints
@@ -101,12 +128,21 @@ class Core:
         if len(q) >= self.tx_capacity:
             return False
         q.append(value)
+        self._tx_pending += 1
+        if not self._stepping and self.on_wake is not None:
+            self.on_wake()
         return True
+
+    def tx_space(self, channel: int) -> int:
+        """Free slots in the egress queue for ``channel``."""
+        q = self._tx.get(int(channel))
+        return self.tx_capacity if q is None else self.tx_capacity - len(q)
 
     def poll_tx(self, channel: int):
         """Router side: take one outgoing word on ``channel`` (or None)."""
         q = self._tx.get(int(channel))
         if q:
+            self._tx_pending -= 1
             return q.popleft()
         return None
 
@@ -136,6 +172,7 @@ class Core:
         the main thread when ``thread`` is None."""
         if thread is None:
             self.main.append(instr)
+            self._notify_wake()
             return
         if not (0 <= thread < len(self.threads)):
             raise ValueError(f"thread slot {thread} out of range")
@@ -145,6 +182,8 @@ class Core:
                 f"by {self.threads[thread].name!r}"
             )
         self.threads[thread] = instr
+        insort(self._occupied, thread)
+        self._notify_wake()
 
     # ------------------------------------------------------------------
     # Simulation
@@ -154,30 +193,50 @@ class Core:
 
         Returns the number of vector elements processed this cycle.
         """
-        self.scheduler.dispatch(self)
-        simd = self.config.simd_width_fp16
+        self._stepping = True
+        ran = self.scheduler.dispatch(self)
+        simd = self._simd
         processed = 0
+        finished = 0
         # Main (synchronous) instruction: strictly in-order.
-        if self.main:
-            head = self.main[0]
-            processed += head.step(simd)
+        main = self.main
+        if main:
+            head = main[0]
+            fn = head._stepfn
+            processed += fn(simd) if fn is not None else head.step(simd)
             if head.finished:
-                self.main.popleft()
+                main.popleft()
+                finished += 1
                 self._fire(head)
         # Background threads: all progress (see module docstring).
-        for slot, instr in enumerate(self.threads):
-            if instr is None:
-                continue
-            processed += instr.step(simd)
-            if instr.finished:
-                self.threads[slot] = None
-                self._fire(instr)
+        occupied = self._occupied
+        if occupied:
+            threads = self.threads
+            for slot in occupied[:]:
+                instr = threads[slot]
+                fn = instr._stepfn
+                processed += fn(simd) if fn is not None else instr.step(simd)
+                if instr.finished:
+                    threads[slot] = None
+                    occupied.remove(slot)
+                    finished += 1
+                    self._fire(instr)
         # Tasks activated by this cycle's completions run next cycle,
         # matching the hardware's schedule-on-event behaviour.
+        self._stepping = False
         self.elements_processed += processed
         if processed:
             self.cycles_active += 1
+        self._quiet = not (processed or ran or finished)
         return processed
+
+    def can_sleep(self) -> bool:
+        """Active-set engine hook: drop this core from the per-cycle
+        sweep.  True only after a cycle in which nothing happened and
+        with no ready task; every event that could change that (word
+        delivery, egress drain, activation, launch) re-wakes the core
+        via :attr:`on_wake`."""
+        return self._quiet and not self.scheduler.has_ready()
 
     def _fire(self, instr: Instruction) -> None:
         for comp in instr.completions:
@@ -186,8 +245,6 @@ class Core:
     @property
     def idle(self) -> bool:
         """True when no instruction is live and no task is ready."""
-        if self.main:
+        if self.main or self._occupied:
             return False
-        if any(t is not None for t in self.threads):
-            return False
-        return not self.scheduler.ready()
+        return not self.scheduler.has_ready()

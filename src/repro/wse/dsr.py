@@ -37,6 +37,13 @@ __all__ = [
     "Instruction",
 ]
 
+#: When True, every instruction built afterwards uses the per-element
+#: readiness loop (the original engine's cost model) instead of batched
+#: readiness.  The two paths are numerically identical — the flag exists
+#: so the benchmark harness can measure the legacy stepping cost
+#: (``benchmarks/bench_des_engine.py``) and tests can pin equivalence.
+LEGACY_ELEMENTWISE = False
+
 
 class Action(enum.Enum):
     """Scheduler manipulation fired when a thread completes (listing 1's
@@ -95,21 +102,33 @@ class MemCursor:
     def can_write(self) -> bool:
         return self.pos < self.length
 
+    # Batched readiness (see Instruction.step): how many elements this
+    # port can serve *right now*.  Memory never blocks mid-extent.
+    def avail_read(self) -> int:
+        return self.length - self.pos
+
+    def avail_write(self) -> int:
+        return self.length - self.pos
+
     def _index(self) -> int:
         return self.offset + self.pos * self.stride
 
+    # read/peek/write inline the index arithmetic — these run once per
+    # simulated element and the extra method call was measurable.
     def read(self):
-        v = self.array[self._index()]
-        self.pos += 1
+        pos = self.pos
+        v = self.array[self.offset + pos * self.stride]
+        self.pos = pos + 1
         return v
 
     def peek(self):
         """Read without advancing (for read-modify-write accumulation)."""
-        return self.array[self._index()]
+        return self.array[self.offset + self.pos * self.stride]
 
     def write(self, value) -> None:
-        self.array[self._index()] = value
-        self.pos += 1
+        pos = self.pos
+        self.array[self.offset + pos * self.stride] = value
+        self.pos = pos + 1
 
     @property
     def done(self) -> bool:
@@ -147,6 +166,11 @@ class FabricRx:
     def can_read(self) -> bool:
         return self.pos < self.length and len(self.queue) > 0
 
+    def avail_read(self) -> int:
+        n = self.length - self.pos
+        q = len(self.queue)
+        return q if q < n else n
+
     def read(self):
         self.pos += 1
         return self.queue.popleft()
@@ -180,6 +204,11 @@ class FabricTx:
     def can_write(self) -> bool:
         return self.pos < self.length and self._core.can_inject(self.channel)
 
+    def avail_write(self) -> int:
+        n = self.length - self.pos
+        space = self._core.tx_space(self.channel)
+        return space if space < n else n
+
     def write(self, value) -> bool:
         if not self._core.inject(self.channel, value):
             return False
@@ -205,6 +234,9 @@ class ScalarAccumulator:
     def can_write(self) -> bool:
         return True
 
+    def avail_write(self) -> int:
+        return 1 << 30
+
     def peek(self):
         return self.value
 
@@ -227,6 +259,9 @@ class FifoPop:
     def can_read(self) -> bool:
         return not self.fifo.empty
 
+    def avail_read(self) -> int:
+        return len(self.fifo)
+
     def read(self):
         return self.fifo.pop()
 
@@ -244,10 +279,16 @@ class FifoPush:
     def can_write(self) -> bool:
         return self.pos < self.length and not self.fifo.full
 
+    def avail_write(self) -> int:
+        n = self.length - self.pos
+        space = self.fifo.space
+        return space if space < n else n
+
     def write(self, value) -> bool:
-        if self.fifo.full:
+        fifo = self.fifo
+        if len(fifo._buf) >= fifo.capacity:
             return False
-        self.fifo.push(value)
+        fifo.push(value)
         self.pos += 1
         return True
 
@@ -307,45 +348,221 @@ class Instruction:
             raise ValueError(f"op {self.op!r} needs {n_src} sources, got {len(self.srcs)}")
         if self.op == "axpy" and self.scalar is None:
             raise ValueError("op 'axpy' requires a scalar")
+        #: Lazily-built fast-path plan: None until the first step().
+        self._avails = None
+        self._batched = False
+        self._stepfn = None
 
     def _ready(self) -> bool:
         if not all(s.can_read() for s in self.srcs):
             return False
         return self.dst.can_write()
 
+    def _build_plan(self) -> None:
+        """Decide whether batched readiness is safe for these operands.
+
+        Readiness is computed once per :meth:`step` call instead of per
+        element, which is valid only when no operand's availability can
+        change as a side effect of another operand advancing — i.e. no
+        two queue-backed operands share an underlying buffer.  (Task
+        bodies never run inside instruction stepping, so availability is
+        otherwise static within one call.)  Exotic operands without
+        ``avail_read``/``avail_write`` fall back to per-element checks.
+        """
+        avails = []
+        buffers = []
+        ok = not LEGACY_ELEMENTWISE
+        for s in self.srcs:
+            fn = getattr(s, "avail_read", None)
+            if fn is None:
+                ok = False
+                break
+            avails.append(fn)
+            q = getattr(s, "queue", None)
+            if q is None:
+                q = getattr(s, "fifo", None)
+            if q is not None:
+                buffers.append(id(q))
+        if ok:
+            fn = getattr(self.dst, "avail_write", None)
+            if fn is None:
+                ok = False
+            else:
+                avails.append(fn)
+                q = getattr(self.dst, "fifo", None)
+                if q is not None:
+                    buffers.append(id(q))
+                core = getattr(self.dst, "_core", None)
+                if core is not None:
+                    buffers.append(id(core))
+        if ok and len(buffers) != len(set(buffers)):
+            ok = False  # shared queue: availability is coupled
+        self._batched = ok
+        self._avails = tuple(avails) if ok else ()
+
+    def _make_stepfn(self):
+        """Fuse operand bindings and the op dispatch into one closure.
+
+        Built once per instruction (after :meth:`_build_plan` proves
+        batched readiness is safe), so the per-cycle hot path pays no
+        attribute lookups, no op string comparison, and no method
+        re-binding — just the availability probes and the element loop.
+        Numerics are bit-identical to the per-element path.
+        """
+        srcs = self.srcs
+        dst = self.dst
+        avails = self._avails
+        rate = self.rate
+        write = dst.write
+        op = self.op
+        if op == "mul":
+            r0, r1 = srcs[0].read, srcs[1].read
+
+            def body(n):
+                for _ in range(n):
+                    write(r0() * r1())
+        elif op == "copy":
+            r0 = srcs[0].read
+
+            def body(n):
+                for _ in range(n):
+                    write(r0())
+        elif op == "add":
+            r0, r1 = srcs[0].read, srcs[1].read
+
+            def body(n):
+                for _ in range(n):
+                    write(r0() + r1())
+        elif op == "addin":
+            r0 = srcs[0].read
+            peek = dst.peek
+
+            def body(n):
+                for _ in range(n):
+                    write(peek() + r0())
+        elif op == "mac":
+            r0, r1 = srcs[0].read, srcs[1].read
+            peek = dst.peek
+            f32 = np.float32
+            f16 = np.float16
+
+            def body(n):
+                for _ in range(n):
+                    a = r0()
+                    b = r1()
+                    if isinstance(a, f16):
+                        # fp16 x fp16 fits exactly in fp32's 24-bit
+                        # mantissa: one fp32 construction from the exact
+                        # double product equals f32(a) * f32(b) bit-for-bit.
+                        prod = f32(float(a) * float(b))
+                    else:
+                        prod = a * b
+                    write(peek() + prod)
+        else:  # axpy
+            r0, r1 = srcs[0].read, srcs[1].read
+            scalar = self.scalar
+            f64 = np.float64
+
+            def body(n):
+                for _ in range(n):
+                    y_v = r0()
+                    x_v = r1()
+                    dt = getattr(y_v, "dtype", None)
+                    a_r = dt.type(scalar) if dt is not None else f64(scalar)
+                    write(y_v + a_r * x_v)
+
+        def stepfn(max_elems: int) -> int:
+            if rate is not None and rate < max_elems:
+                max_elems = rate
+            remaining = self.length - self.processed
+            if remaining <= 0:
+                self.finished = True
+                return 0
+            n = remaining if remaining < max_elems else max_elems
+            for fn in avails:
+                a = fn()
+                if a < n:
+                    if a <= 0:
+                        return 0
+                    n = a
+            body(n)
+            processed = self.processed + n
+            self.processed = processed
+            if processed >= self.length:
+                self.finished = True
+            return n
+
+        return stepfn
+
+    def rewind(self) -> None:
+        """Reset for re-issue with the *same* operand bindings.
+
+        Persistent kernel engines re-run a loaded program every solver
+        iteration; rebuilding thousands of Instruction objects (and
+        re-deriving their batched plans and fused step closures) per run
+        dominated warm-run cost.  Rewinding the positional descriptors
+        restores the exact state a fresh construction would have, while
+        the plan and closure — functions of the operand *bindings*, which
+        are unchanged — are kept.
+        """
+        self.processed = 0
+        self.finished = False
+        for s in self.srcs:
+            if hasattr(s, "pos"):
+                s.pos = 0
+        if hasattr(self.dst, "pos"):
+            self.dst.pos = 0
+
     def step(self, max_elems: int) -> int:
         """Advance up to ``max_elems`` elements; returns elements processed."""
-        if self.rate is not None:
-            max_elems = min(max_elems, self.rate)
+        fn = self._stepfn
+        if fn is not None:
+            return fn(max_elems)
+        if self._avails is None:
+            self._build_plan()
+            if self._batched:
+                self._stepfn = fn = self._make_stepfn()
+                return fn(max_elems)
+        rate = self.rate
+        if rate is not None and rate < max_elems:
+            max_elems = rate
+        remaining = self.length - self.processed
+        if remaining <= 0:
+            self.finished = True
+            return 0
+        op = self.op
+        srcs = self.srcs
+        dst = self.dst
+        # Per-element path: exotic descriptors or coupled operand queues.
         done_ct = 0
         while done_ct < max_elems and self.processed < self.length:
             if not self._ready():
                 break
-            if self.op == "addin":
-                current = self.dst.peek()
-                value = current + self.srcs[0].read()
-            elif self.op == "mac":
-                a = self.srcs[0].read()
-                b = self.srcs[1].read()
+            if op == "addin":
+                current = dst.peek()
+                value = current + srcs[0].read()
+            elif op == "mac":
+                a = srcs[0].read()
+                b = srcs[1].read()
                 if np.asarray(a).dtype == np.float16:
                     prod = np.float32(a) * np.float32(b)
                 else:
                     prod = a * b
-                value = self.dst.peek() + prod
-            elif self.op == "axpy":
-                y_v = self.srcs[0].read()
-                x_v = self.srcs[1].read()
+                value = dst.peek() + prod
+            elif op == "axpy":
+                y_v = srcs[0].read()
+                x_v = srcs[1].read()
                 a_r = np.asarray(y_v).dtype.type(self.scalar)
                 value = y_v + a_r * x_v
             else:
-                vals = [s.read() for s in self.srcs]
-                if self.op == "copy":
+                vals = [s.read() for s in srcs]
+                if op == "copy":
                     value = vals[0]
-                elif self.op == "mul":
+                elif op == "mul":
                     value = vals[0] * vals[1]
                 else:
                     value = vals[0] + vals[1]
-            ok = self.dst.write(value)
+            ok = dst.write(value)
             if ok is False:  # fabric/FIFO back-pressure after srcs consumed
                 raise RuntimeError(
                     f"instruction {self.name!r}: destination refused a write "

@@ -52,6 +52,11 @@ class HardwareFifo:
     def full(self) -> bool:
         return len(self._buf) >= self.capacity
 
+    @property
+    def space(self) -> int:
+        """Free slots (the batched-readiness bound for pushes)."""
+        return self.capacity - len(self._buf)
+
     def __len__(self) -> int:
         return len(self._buf)
 
@@ -62,11 +67,14 @@ class HardwareFifo:
         when their FIFO is full — that back-pressure is what bounds the
         memory footprint of the intermediate products).
         """
-        if self.full:
+        buf = self._buf
+        n = len(buf)
+        if n >= self.capacity:
             raise OverflowError(f"push to full FIFO {self.name!r}")
-        self._buf.append(value)
+        buf.append(value)
         self.total_pushed += 1
-        self.high_water = max(self.high_water, len(self._buf))
+        if n + 1 > self.high_water:
+            self.high_water = n + 1
         if self.on_push is not None:
             self.on_push()
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .fabric import Fabric
+from .fabric import Fabric, FabricDeadlockError
 
 __all__ = ["FabricTrace", "trace_run"]
 
@@ -104,6 +104,12 @@ def trace_run(
         if until is not None:
             if until(fabric):
                 return fabric.cycle, trace
+            if (
+                not fabric._active_routers
+                and not fabric._tx_cores
+                and (not fabric._awake_cores or fabric.quiescent())
+            ):
+                raise FabricDeadlockError(fabric._diagnose_deadlock(True))
         elif fabric.quiescent():
             return fabric.cycle, trace
     raise RuntimeError(

@@ -57,6 +57,11 @@ class TaskScheduler:
         self._activated: set[str] = set()
         self._blocked: set[str] = set()
         self.dispatch_count = 0
+        #: Called whenever a task may have become runnable (activate /
+        #: unblock).  The owning core routes this to the fabric's wake
+        #: hook so external activations pull a sleeping core back into
+        #: the active set (see docs/simulator_performance.md).
+        self.on_change: Callable[[], None] | None = None
 
     # ------------------------------------------------------------------
     # Program construction
@@ -82,8 +87,14 @@ class TaskScheduler:
     # State manipulation (the block()/unblock()/activate() instructions)
     # ------------------------------------------------------------------
     def activate(self, name: str) -> None:
-        self._check(name)
-        self._activated.add(name)
+        if name not in self._tasks:
+            self._check(name)
+        activated = self._activated
+        if name in activated:
+            return  # activation is a single bit; no new readiness
+        activated.add(name)
+        if name not in self._blocked and self.on_change is not None:
+            self.on_change()
 
     def block(self, name: str) -> None:
         self._check(name)
@@ -91,7 +102,12 @@ class TaskScheduler:
 
     def unblock(self, name: str) -> None:
         self._check(name)
-        self._blocked.discard(name)
+        blocked = self._blocked
+        if name not in blocked:
+            return
+        blocked.discard(name)
+        if name in self._activated and self.on_change is not None:
+            self.on_change()
 
     def apply(self, name: str, action: Action) -> None:
         """Apply a completion trigger's action."""
@@ -125,6 +141,16 @@ class TaskScheduler:
         tasks = [self._tasks[n] for n in names]
         return sorted(tasks, key=lambda t: (-t.priority, t.name))
 
+    def has_ready(self) -> bool:
+        """O(ready) check used by the hot idle/sleep paths (no sorting)."""
+        activated = self._activated
+        if not activated:
+            return False
+        blocked = self._blocked
+        if not blocked:
+            return True
+        return any(n not in blocked for n in activated)
+
     def dispatch(self, core) -> int:
         """Run ready tasks until none remain ready; returns the number run.
 
@@ -135,13 +161,29 @@ class TaskScheduler:
         (the completion tree cascades); the loop keeps draining, with a
         safety bound against accidental infinite activation loops.
         """
+        activated = self._activated
+        if not activated:
+            return 0
         ran = 0
+        tasks = self._tasks
+        blocked = self._blocked
         for _ in range(1000):
-            batch = self.ready()
-            if not batch:
+            if not activated:
                 break
-            task = batch[0]
-            self._activated.discard(task.name)
+            if blocked:
+                names = [n for n in activated if n not in blocked]
+                if not names:
+                    break
+            else:
+                names = activated
+            if len(names) == 1:
+                task = tasks[next(iter(names))]
+            else:
+                # Same winner as ready()[0]: highest priority, then name.
+                task = min(
+                    (tasks[n] for n in names), key=lambda t: (-t.priority, t.name)
+                )
+            activated.discard(task.name)
             task.body(core)
             task.runs += 1
             self.dispatch_count += 1

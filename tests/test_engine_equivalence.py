@@ -1,0 +1,270 @@
+"""Engine equivalence: the active-set engine vs the reference sweep.
+
+The active-set engine (``Fabric.step``) must be *observably identical*
+to the naive full-fabric sweep (``Fabric.step_reference``) — same cycle
+counts, same per-destination word accounting, same delivered-word
+sequences, bit-identical numerics — on every kernel in the repo.  The
+only permitted difference is wall-clock speed.  These tests pin that
+contract on randomized workloads, plus the two satellite behaviours
+that ride on the engine: per-destination fanout accounting and the
+immediate deadlock diagnosis in :meth:`Fabric.run`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    build_spmv_fabric,
+    run_axpy_des,
+    run_dot_des,
+    run_spmv2d_des,
+    run_spmv_des,
+)
+from repro.problems import Stencil7, Stencil9
+from repro.wse import CS1, Core, Fabric, FabricDeadlockError, Port
+from repro.wse import dsr
+from repro.wse.allreduce import AllReduceEngine, simulate_allreduce
+from repro.wse.dsr import FabricRx, Instruction, MemCursor
+
+RNG = np.random.default_rng(7)
+
+
+def _op3d(shape, seed=0):
+    op = Stencil7.from_random(shape, rng=np.random.default_rng(seed))
+    pre, _, _ = op.jacobi_precondition()
+    return pre
+
+
+class _Recorder:
+    """Minimal core that records every delivered word in order."""
+
+    def __init__(self):
+        self.received = []
+        self._tx = []
+
+    def deliver(self, channel, value):
+        self.received.append((channel, value))
+
+    def poll_tx(self, channel):
+        if self._tx and self._tx[0][0] == channel:
+            return self._tx.pop(0)[1]
+        return None
+
+    def tx_channels(self):
+        return [self._tx[0][0]] if self._tx else []
+
+    def step(self):
+        return 0
+
+    @property
+    def idle(self):
+        return not self._tx
+
+
+# ----------------------------------------------------------------------
+# Kernel equivalence: identical cycles, word totals, numerics
+# ----------------------------------------------------------------------
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("shape,seed", [
+        ((2, 2, 4), 1), ((4, 4, 8), 2), ((3, 5, 6), 3), ((1, 4, 8), 4),
+        ((6, 3, 5), 5),
+    ])
+    def test_spmv3d(self, shape, seed):
+        op = _op3d(shape, seed)
+        v = 0.1 * np.random.default_rng(100 + seed).standard_normal(shape)
+        results = {}
+        for engine in ("active", "reference"):
+            fabric, programs = build_spmv_fabric(op, v)
+            fabric.engine = engine
+            nx, ny, nz = op.shape
+
+            def finished(f, programs=programs, nx=nx, ny=ny):
+                return f.quiescent() and all(
+                    programs[j][i].done for j in range(ny) for i in range(nx)
+                )
+
+            cycles = fabric.run(max_cycles=100_000, until=finished)
+            u = np.stack([
+                np.stack([programs[j][i].result() for j in range(ny)])
+                for i in range(nx)
+            ])
+            per_router = {
+                (x, y): fabric.router(x, y).words_moved
+                for y in range(ny) for x in range(nx)
+            }
+            results[engine] = (cycles, fabric.total_words_moved, per_router, u)
+
+        ca, wa, ra, ua = results["active"]
+        cr, wr, rr, ur = results["reference"]
+        assert ca == cr
+        assert wa == wr
+        assert ra == rr  # per-router word accounting, not just the total
+        np.testing.assert_array_equal(ua, ur)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_spmv3d_runner_and_legacy_elementwise(self, seed):
+        """The public runner agrees across engines, and the pre-PR
+        per-element readiness path is numerically identical too."""
+        shape = (3, 4, 6)
+        op = _op3d(shape, 20 + seed)
+        v = 0.1 * np.random.default_rng(seed).standard_normal(shape)
+        u_act, c_act = run_spmv_des(op, v, engine="active")
+        u_ref, c_ref = run_spmv_des(op, v, engine="reference")
+        assert c_act == c_ref
+        np.testing.assert_array_equal(u_act, u_ref)
+        assert not dsr.LEGACY_ELEMENTWISE
+        dsr.LEGACY_ELEMENTWISE = True
+        try:
+            u_leg, c_leg = run_spmv_des(op, v, engine="reference")
+        finally:
+            dsr.LEGACY_ELEMENTWISE = False
+        assert c_leg == c_act
+        np.testing.assert_array_equal(u_leg, u_act)
+
+    @pytest.mark.parametrize("shape,block", [
+        ((4, 4), (2, 2)), ((6, 6), (2, 3)), ((8, 4), (4, 2)),
+    ])
+    def test_spmv2d(self, shape, block):
+        op = Stencil9.from_random(
+            shape, rng=np.random.default_rng(shape[0] * 31 + block[0])
+        )
+        v = 0.1 * np.random.default_rng(9).standard_normal(shape)
+        u_act, c_act = run_spmv2d_des(op, v, block, engine="active")
+        u_ref, c_ref = run_spmv2d_des(op, v, block, engine="reference")
+        assert c_act == c_ref
+        np.testing.assert_array_equal(u_act, u_ref)
+
+    @pytest.mark.parametrize("w,h", [(2, 2), (4, 3), (5, 5), (8, 2)])
+    def test_allreduce(self, w, h):
+        vals = np.random.default_rng(w * 10 + h).random((h, w)).astype(
+            np.float32
+        )
+        t_act, c_act = simulate_allreduce(vals, engine="active")
+        t_ref, c_ref = simulate_allreduce(vals, engine="reference")
+        assert c_act == c_ref
+        assert t_act == t_ref  # bit-identical fp32 reduction
+        eng_a = AllReduceEngine(w, h, engine="active")
+        eng_r = AllReduceEngine(w, h, engine="reference")
+        eng_a.reduce(vals)
+        eng_r.reduce(vals)
+        assert eng_a.fabric.total_words_moved == eng_r.fabric.total_words_moved
+
+    def test_blas(self):
+        x = np.random.default_rng(1).random(17).astype(np.float16)
+        y = np.random.default_rng(2).random(17).astype(np.float16)
+        ra, ca = run_axpy_des(0.7, x, y, engine="active")
+        rr, cr = run_axpy_des(0.7, x, y, engine="reference")
+        assert ca == cr
+        np.testing.assert_array_equal(ra, rr)
+        da, ca = run_dot_des(x, y, engine="active")
+        dr, cr = run_dot_des(x, y, engine="reference")
+        assert ca == cr
+        assert da == dr
+
+    def test_delivered_word_sequence(self):
+        """Word-by-word delivery order matches on a multi-hop line."""
+        words = [np.float32(v) for v in
+                 np.random.default_rng(3).random(12)]
+        received = {}
+        for engine in ("active", "reference"):
+            f = Fabric(4, 1)
+            src, dst = _Recorder(), _Recorder()
+            f.attach_core(0, 0, src)
+            f.attach_core(3, 0, dst)
+            for x in (1, 2):
+                f.attach_core(x, 0, _Recorder())
+            f.router(0, 0).set_route(0, Port.CORE, (Port.EAST,))
+            for x in (1, 2):
+                f.router(x, 0).set_route(0, Port.WEST, (Port.EAST,))
+            f.router(3, 0).set_route(0, Port.WEST, (Port.CORE,))
+            src._tx = [(0, v) for v in words]
+            f.engine = engine
+            f.run(max_cycles=1000)
+            received[engine] = dst.received
+        assert received["active"] == received["reference"]
+        assert [v for _, v in received["active"]] == words
+
+
+# ----------------------------------------------------------------------
+# Satellite: per-destination fanout word accounting
+# ----------------------------------------------------------------------
+class TestFanoutAccounting:
+    def _fanout_fabric(self, engine):
+        """Center tile broadcasts channel 0 to CORE + EAST + WEST: a
+        1 -> 3 fanout at one router."""
+        f = Fabric(3, 1)
+        src = _Recorder()
+        east, west = _Recorder(), _Recorder()
+        f.attach_core(1, 0, src)
+        f.attach_core(2, 0, east)
+        f.attach_core(0, 0, west)
+        f.router(1, 0).set_route(0, Port.CORE, (Port.CORE, Port.EAST, Port.WEST))
+        f.router(2, 0).set_route(0, Port.WEST, (Port.CORE,))
+        f.router(0, 0).set_route(0, Port.EAST, (Port.CORE,))
+        f.engine = engine
+        return f, src, east, west
+
+    @pytest.mark.parametrize("engine", ["active", "reference"])
+    def test_one_to_three_fanout_counts_each_destination(self, engine):
+        f, src, east, west = self._fanout_fabric(engine)
+        src._tx = [(0, 1.5), (0, 2.5)]
+        f.run(max_cycles=100)
+        # Each injected word is replicated to 3 destinations at the
+        # center router, then hops once more into each neighbour core.
+        assert src.received == [(0, 1.5), (0, 2.5)]
+        assert east.received == [(0, 1.5), (0, 2.5)]
+        assert west.received == [(0, 1.5), (0, 2.5)]
+        assert f.router(1, 0).words_moved == 2 * 3
+        assert f.router(2, 0).words_moved == 2
+        assert f.router(0, 0).words_moved == 2
+        # Fabric total = sum of per-router, per-destination movements.
+        assert f.total_words_moved == 2 * 3 + 2 + 2
+
+    def test_engines_agree_on_fanout_totals(self):
+        totals = {}
+        for engine in ("active", "reference"):
+            f, src, _, _ = self._fanout_fabric(engine)
+            src._tx = [(0, float(i)) for i in range(5)]
+            f.run(max_cycles=100)
+            totals[engine] = (
+                f.total_words_moved,
+                f.router(1, 0).words_moved,
+            )
+        assert totals["active"] == totals["reference"]
+
+
+# ----------------------------------------------------------------------
+# Satellite: immediate, diagnosable deadlock errors from run()
+# ----------------------------------------------------------------------
+class TestDeadlockDiagnosis:
+    def test_quiescent_until_never_true(self):
+        """A fully drained fabric with an unfinished until() raises at
+        once — not a RuntimeError after max_cycles no-op sweeps."""
+        f = Fabric(2, 2)
+        with pytest.raises(FabricDeadlockError, match="quiescent"):
+            f.run(max_cycles=50_000, until=lambda f: False)
+        # Failing fast, not timing out: the clock barely advanced.
+        assert f.cycle < 10
+
+    def test_stalled_core_is_named(self):
+        """A core wedged on a word that can never arrive is diagnosed
+        with its coordinates."""
+        f = Fabric(2, 1)
+        core = Core(0, 0, CS1)
+        f.attach_core(0, 0, core)
+        q = core.subscribe(5)
+        out = np.zeros(4, dtype=np.float32)
+        core.launch(Instruction(
+            op="copy",
+            dst=MemCursor(out, 0, 4, name="out"),
+            srcs=[FabricRx(q, 4, 5, name="never")],
+            length=4,
+            name="starved",
+        ), thread=1)
+        with pytest.raises(FabricDeadlockError, match=r"\(0,0\)"):
+            f.run(max_cycles=50_000)
+        assert f.cycle < 10
+
+    def test_deadlock_error_is_runtime_error(self):
+        # Callers catching the old RuntimeError keep working.
+        assert issubclass(FabricDeadlockError, RuntimeError)
