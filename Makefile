@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test lint bench bench-smoke bench-verbose examples report all clean
+.PHONY: install test lint trace bench bench-smoke bench-verbose examples report all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -17,12 +17,21 @@ lint:
 		&& python -m pyflakes src \
 		|| echo "pyflakes not installed; skipped"
 
+# Observed DES solve: per-phase cycle table + iteration telemetry on
+# stdout, Chrome-trace JSON (open in chrome://tracing / ui.perfetto.dev)
+# and per-tile utilization heatmaps on disk.  See docs/observability.md.
+trace:
+	PYTHONPATH=src python -m repro trace
+
 # Engine regression smoke: active-set vs pre-PR stepping on a small
 # BiCGStab DES workload; writes BENCH_des.json (cycles/sec, words/sec,
 # fabric size) and fails on any engine-equivalence mismatch.  Drop
-# --quick for the full 48x48 headline measurement.
+# --quick for the full 48x48 headline measurement.  The second step
+# measures the observability layer's overhead (tracer off vs on) into
+# BENCH_obs.json and fails if the detached hot path regresses >5%.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_des_engine.py --quick
+	PYTHONPATH=src python benchmarks/bench_obs_overhead.py --quick
 
 bench:
 	pytest benchmarks/ --benchmark-only -q

@@ -12,6 +12,8 @@ every substrate the paper relies on, in pure Python/NumPy:
 * :mod:`repro.wse` — the wafer simulator: tiles, routers, FIFOs, tasks,
   the Fig. 5 channel tessellation, the Fig. 6 AllReduce;
 * :mod:`repro.kernels` — the SpMV dataflow programs (3D and 2D);
+* :mod:`repro.obs` — observability: span tracing on the wafer timeline,
+  a metrics registry, Chrome-trace/Perfetto export, phase breakdowns;
 * :mod:`repro.clustersim` — the message-passing cluster baseline;
 * :mod:`repro.cfd` — a SIMPLE finite-volume solver (the MFIX stand-in);
 * :mod:`repro.perfmodel` — calibrated models for every table/figure;
@@ -27,7 +29,7 @@ Quickstart::
     print(result.performance_summary())
 """
 
-from . import analysis, cfd, clustersim, io, kernels, perfmodel, precision, problems, solver, wse
+from . import analysis, cfd, clustersim, io, kernels, obs, perfmodel, precision, problems, solver, wse
 from .precision import Precision
 from .problems import (
     LinearSystem,
@@ -47,6 +49,7 @@ __all__ = [
     "clustersim",
     "io",
     "kernels",
+    "obs",
     "perfmodel",
     "precision",
     "problems",

@@ -29,6 +29,7 @@ __all__ = [
     "multiwafer_report",
     "energy_report",
     "des_scale_report",
+    "observed_trace_report",
     "REPORTS",
 ]
 
@@ -456,6 +457,13 @@ def lint_report() -> str:
     return lint_report_text()
 
 
+def observed_trace_report() -> str:
+    """Observed DES solve: per-phase cycles, telemetry, fabric stats."""
+    from ..obs.cli import trace_report
+
+    return trace_report()
+
+
 #: CLI dispatch table: name -> report function.
 REPORTS = {
     "headline": headline_report,
@@ -476,4 +484,5 @@ REPORTS = {
     "energy": energy_report,
     "des-scale": des_scale_report,
     "lint": lint_report,
+    "trace": observed_trace_report,
 }

@@ -30,8 +30,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default="list",
         help=(
-            "report name, 'list', 'all', 'lint', or 'write-report' "
-            "(default: list)"
+            "report name, 'list', 'all', 'lint', 'trace', or "
+            "'write-report' (default: list)"
         ),
     )
     parser.add_argument(
@@ -52,6 +52,14 @@ def _describe() -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        # `trace` owns its own flags (--shape, --out, ...), so dispatch
+        # before the report parser sees them.
+        from .obs.cli import trace_main
+
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     name = args.report
     if name == "list":

@@ -11,6 +11,14 @@ charged from the SIMD model.
 This mode exists to *validate* the functional solver and the analytic
 model (tests assert all three agree); it is usable for meshes up to a
 few thousand points.
+
+Pass an :class:`repro.obs.ObsSession` as ``obs=`` to observe a solve:
+every kernel call is recorded as a phase span (``spmv`` / ``allreduce``
+/ ``axpy`` / ``dot_local``, which tile the unified wafer timeline
+exactly), each iteration as an enclosing ``iteration[k]`` span carrying
+residual/rho/omega, the persistent fabrics stream per-cycle metrics
+through ``fabric.obs``, and the whole record exports to
+Chrome-trace/Perfetto JSON (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import ObsSession
 from ..precision import Precision, spec_for
 from ..problems.stencil7 import Stencil7
 from ..solver.result import SolveResult
@@ -78,6 +87,11 @@ class DESBiCGStab:
         kernel call.  When False, each SpMV/AllReduce builds a fresh
         fabric — the original call pattern, kept so the benchmark can
         measure what persistence buys.
+    obs:
+        Optional :class:`repro.obs.ObsSession`.  When given, the solver
+        emits phase and iteration spans on the unified wafer timeline,
+        records per-iteration telemetry, and attaches fabric observers
+        to the persistent engines.  ``None`` (default) costs nothing.
     """
 
     operator: Stencil7
@@ -85,6 +99,7 @@ class DESBiCGStab:
     analyze: bool = False
     engine: str = "active"
     persistent: bool = True
+    obs: ObsSession | None = None
 
     def __post_init__(self) -> None:
         if not self.operator.has_unit_diagonal:
@@ -99,6 +114,33 @@ class DESBiCGStab:
         self.report = DESCycleReport()
         self._spmv_eng: SpmvEngine | None = None
         self._ar_eng: AllReduceEngine | None = None
+        if self.obs is not None and self.obs.tracer.clock is None:
+            # The solver's clock is the unified wafer timeline.
+            self.obs.tracer.clock = lambda: self.report.total_cycles
+
+    def _phase(self, name: str, start: int) -> None:
+        """Record a leaf phase span ``[start, now)`` on the timeline.
+
+        Every kernel helper bumps exactly one ``DESCycleReport`` counter,
+        and ``total_cycles`` is their sum — so phase spans are contiguous
+        and tile the timeline exactly (the per-phase table's total equals
+        the fabric cycle clock; asserted by the test suite).
+        """
+        self.obs.tracer.record(
+            name, start, self.report.total_cycles - start, cat="phase"
+        )
+
+    def _iter_obs(self, it: int, start: int, residual=None, **fields) -> None:
+        """Record one iteration's span, residual sample, and telemetry."""
+        now = self.report.total_cycles
+        args = {"residual": residual, **fields}
+        self.obs.tracer.record(
+            f"iteration[{it}]", start, now - start,
+            track="solver", cat="iteration", args=args,
+        )
+        if residual is not None:
+            self.obs.tracer.sample("residual", now, residual)
+        self.obs.record_iteration(iteration=it, cycles=now - start, **args)
 
     # ------------------------------------------------------------------
     # Unified timeline (persistent mode)
@@ -126,6 +168,8 @@ class DESBiCGStab:
             fabric.cycle = now
             fabric.stats.cycles += behind
             fabric.stats.skipped_cycles += behind
+            if fabric.obs is not None:
+                fabric.obs.on_skip(behind)
             return
         fabric.skip_cycles(behind)
 
@@ -133,10 +177,12 @@ class DESBiCGStab:
     # Simulated kernels
     # ------------------------------------------------------------------
     def _spmv(self, v: np.ndarray) -> np.ndarray:
+        start = self.report.total_cycles
         if self.persistent:
             if self._spmv_eng is None:
                 self._spmv_eng = SpmvEngine(
-                    self.operator, self.config, engine=self.engine
+                    self.operator, self.config, engine=self.engine,
+                    obs=self.obs,
                 )
             if self.engine == "active":
                 self._sync(self._spmv_eng.fabric)
@@ -148,23 +194,33 @@ class DESBiCGStab:
             )
         self.report.spmv_cycles += cycles
         self.report.spmv_runs += 1
+        if self.obs is not None:
+            self._phase("spmv", start)
         return u.astype(np.float16)
 
     def _dot(self, a: np.ndarray, b: np.ndarray) -> float:
         """fp16-multiply / fp32-accumulate local dot, then the simulated
         Fig. 6 AllReduce over the per-tile partials."""
         nx, ny, nz = self.operator.shape
+        start = self.report.total_cycles
         prod = a.astype(np.float32) * b.astype(np.float32)
         partials = np.add.reduce(prod, axis=2, dtype=np.float32)  # (nx, ny)
         self.report.dot_local_cycles += int(
             np.ceil(nz / self.config.mixed_fmacs_per_cycle)
         )
+        if self.obs is not None:
+            self._phase("dot_local", start)
         if nx >= 2 and ny >= 2:
+            start = self.report.total_cycles
             if self.persistent:
                 if self._ar_eng is None:
                     self._ar_eng = AllReduceEngine(
                         nx, ny, engine=self.engine
                     )
+                    if self.obs is not None:
+                        self.obs.observe_fabric(
+                            "allreduce", self._ar_eng.fabric
+                        )
                 if self.engine == "active":
                     self._sync(self._ar_eng.fabric)
                 total, cycles = self._ar_eng.reduce(partials.T)
@@ -174,15 +230,20 @@ class DESBiCGStab:
                 )  # (rows=y, cols=x)
             self.report.allreduce_cycles += cycles
             self.report.allreduce_runs += 1
+            if self.obs is not None:
+                self._phase("allreduce", start)
             return float(total)
         # Degenerate fabrics (1 x N) fall back to a tree-ordered sum.
         return float(np.add.reduce(partials.ravel(), dtype=np.float32))
 
     def _axpy(self, a: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """fp16 ``y + a*x`` with the SIMD-4 cycle charge."""
+        start = self.report.total_cycles
         self.report.axpy_cycles += int(
             np.ceil(self.operator.shape[2] / self.config.simd_width_fp16)
         )
+        if self.obs is not None:
+            self._phase("axpy", start)
         return (y + np.float16(np.float32(a)) * x).astype(np.float16)
 
     # ------------------------------------------------------------------
@@ -211,8 +272,10 @@ class DESBiCGStab:
         residuals: list[float] = []
         converged = False
         breakdown = None
+        obs = self.obs
         it = 0
         for it in range(1, maxiter + 1):
+            it_start = self.report.total_cycles
             if abs(float(rho)) < np.finfo(np.float64).tiny:
                 breakdown = "rho"
                 it -= 1
@@ -221,6 +284,9 @@ class DESBiCGStab:
             r0s = np.float32(self._dot(r0, s))
             if abs(float(r0s)) < np.finfo(np.float64).tiny:
                 breakdown = "rho"
+                if obs is not None:
+                    self._iter_obs(it, it_start, rho=float(rho),
+                                   breakdown="rho")
                 it -= 1
                 break
             alpha = np.float32(rho / r0s)
@@ -236,11 +302,18 @@ class DESBiCGStab:
             rho_new = np.float32(self._dot(r0, r))
             res = float(np.sqrt(max(self._dot(r, r), 0.0))) / bnorm
             residuals.append(res)
+            if obs is not None:
+                self._iter_obs(
+                    it, it_start, residual=res, rho=float(rho),
+                    alpha=float(alpha), omega=float(omega), breakdown=None,
+                )
             if res <= rtol:
                 converged = True
                 break
             if abs(float(omega)) < np.finfo(np.float64).tiny:
                 breakdown = "omega"
+                if obs is not None:
+                    obs.telemetry[-1]["breakdown"] = "omega"
                 break
             beta = np.float32((alpha / omega) * (rho_new / rho))
             rho = rho_new

@@ -134,13 +134,16 @@ def run_axpy_des(
     config: MachineConfig = CS1,
     analyze: bool = False,
     engine: str = "active",
+    obs=None,
 ) -> tuple[np.ndarray, int]:
     """AXPY ``y + a*x`` as one tile instruction.
 
     Returns ``(result fp16 array, cycles)``.  The cycle count is the
     SIMD-4 streaming cost plus the single launch cycle; the result is
     bit-identical to :func:`repro.precision.ops.axpy` in mixed mode
-    (tested).  ``engine`` selects the fabric stepping engine.
+    (tested).  ``engine`` selects the fabric stepping engine; ``obs``
+    (an :class:`repro.obs.ObsSession`) records the run as an ``axpy``
+    kernel span.
     """
     fabric, out, instr = build_axpy_fabric(a, x, y, config, analyze=analyze)
     fabric.engine = engine
@@ -150,6 +153,9 @@ def run_axpy_des(
         fabric.step()
         if fabric.cycle - start > 10 * n + 10:  # pragma: no cover - defensive
             raise RuntimeError("AXPY program did not finish")
+    if obs is not None:
+        obs.tracer.record("axpy", start, fabric.cycle - start,
+                          track="kernel:blas", cat="kernel", args={"n": n})
     return out.copy(), fabric.cycle - start
 
 
@@ -159,12 +165,15 @@ def run_dot_des(
     config: MachineConfig = CS1,
     analyze: bool = False,
     engine: str = "active",
+    obs=None,
 ) -> tuple[float, int]:
     """The mixed-precision dot as one tile instruction.
 
     fp16 operands, exact products (fp32), fp32 accumulation, at the
     hardware's 2 elements per cycle.  Returns ``(value, cycles)``.
-    ``engine`` selects the fabric stepping engine.
+    ``engine`` selects the fabric stepping engine; ``obs`` (an
+    :class:`repro.obs.ObsSession`) records the run as a ``dot`` kernel
+    span.
     """
     fabric, acc, instr = build_dot_fabric(x, y, config, analyze=analyze)
     fabric.engine = engine
@@ -174,4 +183,7 @@ def run_dot_des(
         fabric.step()
         if fabric.cycle - start > 10 * n + 10:  # pragma: no cover - defensive
             raise RuntimeError("dot program did not finish")
+    if obs is not None:
+        obs.tracer.record("dot", start, fabric.cycle - start,
+                          track="kernel:blas", cat="kernel", args={"n": n})
     return float(acc.value), fabric.cycle - start

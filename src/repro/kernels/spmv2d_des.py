@@ -353,25 +353,35 @@ def run_spmv2d_des(
     max_cycles: int = 500_000,
     analyze: bool = False,
     engine: str = "active",
+    obs=None,
 ) -> tuple[np.ndarray, int]:
     """Run the 2D-mapping SpMV on the tile simulator.
 
     Returns ``(u, cycles)`` with ``u`` the assembled fp16-arithmetic
     result (float64-valued array).  ``engine`` selects the fabric
     stepping engine (``"active"`` or the ``"reference"`` sweep).
+    ``obs`` (an :class:`repro.obs.ObsSession`) attaches a fabric
+    observer and records the run as a ``spmv2d`` kernel span.
     """
     nx, ny = op.shape
     bx, by = block_shape
     fabric, programs = build_spmv2d_fabric(op, v, block_shape, config,
                                            analyze=analyze, engine=engine)
     px, py = nx // bx, ny // by
+    if obs is not None:
+        obs.observe_fabric(obs.unique_fabric_name("spmv2d"), fabric)
 
     def finished(f: Fabric) -> bool:
         return f.quiescent() and all(
             programs[bj][bi].done for bj in range(py) for bi in range(px)
         )
 
+    start = fabric.cycle
     cycles = fabric.run(max_cycles=max_cycles, until=finished)
+    if obs is not None:
+        obs.tracer.record("spmv2d", start, fabric.cycle - start,
+                          track="kernel:spmv2d", cat="kernel",
+                          args={"blocks": [px, py]})
     u = np.empty(op.shape)
     for bj in range(py):
         for bi in range(px):

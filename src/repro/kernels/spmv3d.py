@@ -420,6 +420,8 @@ class SpmvEngine:
         config: MachineConfig = CS1,
         fifo_capacity: int = 20,
         engine: str = "active",
+        obs=None,
+        obs_name: str = "spmv",
     ):
         self.op = op
         self.fabric, self.programs = build_spmv_fabric(
@@ -427,9 +429,18 @@ class SpmvEngine:
         )
         self.fabric.engine = engine
         self.runs = 0
+        #: Optional :class:`repro.obs.ObsSession` — attached *before*
+        #: the warm-up run so the observer's cycle accounting is exact
+        #: (stepped + skipped == fabric.cycle) from cycle 0.
+        self.obs = obs
+        if obs is not None:
+            obs.observe_fabric(obs.unique_fabric_name(obs_name), self.fabric)
         # The build activates each tile's spmv task for a first run over
         # the zero vector; consume it so run() starts clean.
-        self._execute()
+        warm = self._execute()
+        if obs is not None:
+            obs.tracer.record("spmv.warmup", self.fabric.cycle - warm, warm,
+                              track="kernel:spmv", cat="kernel")
 
     def _execute(self) -> int:
         nx, ny, nz = self.op.shape
@@ -458,6 +469,11 @@ class SpmvEngine:
                 prog.core.scheduler.activate("spmv")
         cycles = self._execute()
         self.runs += 1
+        if self.obs is not None:
+            self.obs.tracer.record(
+                "spmv.run", self.fabric.cycle - cycles, cycles,
+                track="kernel:spmv", cat="kernel", args={"run": self.runs},
+            )
         u = np.empty(self.op.shape, dtype=np.float64)
         for j in range(ny):
             for i in range(nx):

@@ -1,0 +1,52 @@
+"""repro.obs — the wafer-scale observability layer.
+
+The paper's claims are *per-phase timing* claims (28.1 µs BiCGStab
+iterations decomposed into SpMV / AXPY / dot+AllReduce; a sub-1.5 µs
+wafer AllReduce).  This package makes the simulator report at that
+granularity:
+
+* :mod:`~repro.obs.span` — nestable, cycle-stamped spans on the unified
+  wafer timeline (``iteration[k]`` > ``spmv`` / ``allreduce`` / ...);
+* :mod:`~repro.obs.metrics` — named counters, gauges, and streaming
+  histograms (words moved, router queue occupancy, core stall cycles,
+  FIFO high-water marks);
+* :mod:`~repro.obs.fabric_obs` — the per-cycle fabric hook behind the
+  single ``fabric.obs is None`` hot-path guard;
+* :mod:`~repro.obs.session` — :class:`ObsSession`, the facade the DES
+  kernels and :class:`~repro.kernels.bicgstab_des.DESBiCGStab` accept;
+* :mod:`~repro.obs.export` — Chrome-trace/Perfetto JSON export
+  (open a whole solve in ``chrome://tracing``);
+* :mod:`~repro.obs.report` — the Figure 4-style phase table, per-tile
+  utilization heatmaps (.npy/CSV), iteration telemetry;
+* :mod:`~repro.obs.trace` — the folded-in ``FabricTrace`` /
+  ``trace_run`` recorder (``repro.wse.stats``'s deprecation target).
+
+Entry points: ``python -m repro trace`` and ``make trace``; docs in
+``docs/observability.md``.
+"""
+
+from .export import chrome_trace_events, write_chrome_trace
+from .fabric_obs import FabricObserver
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import export_heatmaps, phase_table, telemetry_table
+from .session import ObsSession
+from .span import Span, SpanTracer
+from .trace import FabricTrace, trace_run
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "FabricObserver",
+    "ObsSession",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "phase_table",
+    "export_heatmaps",
+    "telemetry_table",
+    "FabricTrace",
+    "trace_run",
+]

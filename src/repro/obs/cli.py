@@ -1,0 +1,128 @@
+"""``python -m repro trace`` — run an observed DES solve and export it.
+
+Runs a full DES-mode BiCGStab solve of the MFiX-like momentum system
+with an :class:`~repro.obs.ObsSession` attached, prints the Figure
+4-style per-phase cycle breakdown and the iteration telemetry, and
+writes:
+
+* ``trace.json`` — Chrome-trace/Perfetto JSON of the whole solve (open
+  it in ``chrome://tracing`` or https://ui.perfetto.dev);
+* ``trace_heatmap_<fabric>_<grid>.npy`` / ``.csv`` — per-tile
+  utilization heatmaps for every observed fabric.
+
+Also exposed as the ``trace`` entry of
+:data:`repro.analysis.reports.REPORTS` (print-only, no files) and as
+``make trace``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["trace_main", "trace_report", "run_traced_solve"]
+
+
+def run_traced_solve(shape=(8, 8, 8), rtol: float = 5e-3, maxiter: int = 12):
+    """Solve the momentum system in DES mode under observation.
+
+    Returns ``(session, solver, result)`` with metrics already
+    harvested.
+    """
+    from ..kernels.bicgstab_des import DESBiCGStab
+    from ..problems import momentum_system
+    from .session import ObsSession
+
+    sys_ = momentum_system(tuple(shape), reynolds=50.0, dt=0.02)
+    obs = ObsSession()
+    solver = DESBiCGStab(sys_.operator, obs=obs)
+    result = solver.solve(sys_.b, rtol=rtol, maxiter=maxiter)
+    obs.harvest()
+    return obs, solver, result
+
+
+def _summary_lines(obs, solver, result) -> list[str]:
+    from .report import phase_table, telemetry_table
+
+    rep = solver.report
+    lines = [
+        f"DES BiCGStab solve: {'converged' if result.converged else 'NOT converged'} "
+        f"in {result.iterations} iteration(s), "
+        f"{rep.total_cycles} wafer cycles "
+        f"({rep.per_iteration(result.iterations):.0f}/iteration)",
+        "",
+        phase_table(obs, iterations=result.iterations),
+        "",
+        telemetry_table(obs),
+        "",
+        "observed fabrics:",
+    ]
+    for name, fo in sorted(obs.fabrics.items()):
+        lines.append(
+            f"  {name:<10} stepped {fo.stepped_cycles}, skipped "
+            f"{fo.skipped_cycles}, {fo.total_words} words moved, "
+            f"peak queue occupancy {fo.peak_occupancy}"
+        )
+    return lines
+
+
+def trace_report() -> str:
+    """Observed DES solve: per-phase cycles, telemetry, fabric stats."""
+    obs, solver, result = run_traced_solve(shape=(6, 6, 8), maxiter=8)
+    return "\n".join(_summary_lines(obs, solver, result))
+
+
+def trace_main(argv: list[str] | None = None) -> int:
+    """CLI entry for ``python -m repro trace``."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description=(
+            "Run an observed DES BiCGStab solve; print the per-phase "
+            "cycle breakdown and export a Chrome-trace/Perfetto JSON "
+            "timeline plus per-tile utilization heatmaps."
+        ),
+    )
+    parser.add_argument(
+        "--shape", type=int, nargs=3, default=(8, 8, 8),
+        metavar=("NX", "NY", "NZ"), help="mesh shape (default: 8 8 8)",
+    )
+    parser.add_argument(
+        "--maxiter", type=int, default=12, help="BiCGStab iteration cap",
+    )
+    parser.add_argument(
+        "--rtol", type=float, default=5e-3, help="relative tolerance",
+    )
+    parser.add_argument(
+        "--out", default="trace.json",
+        help="Chrome-trace JSON output path (default: trace.json)",
+    )
+    parser.add_argument(
+        "--heatmaps", default=None, metavar="PREFIX",
+        help="heatmap file prefix (default: derived from --out)",
+    )
+    parser.add_argument(
+        "--no-files", action="store_true",
+        help="print the reports only; write nothing",
+    )
+    args = parser.parse_args(argv)
+
+    obs, solver, result = run_traced_solve(
+        shape=tuple(args.shape), rtol=args.rtol, maxiter=args.maxiter,
+    )
+    print("\n".join(_summary_lines(obs, solver, result)))
+
+    if not args.no_files:
+        from pathlib import Path
+
+        from .report import export_heatmaps
+
+        out = obs.write_chrome_trace(args.out)
+        n_spans = len(obs.tracer.spans)
+        print(f"\nwrote {out} ({n_spans} spans; open in chrome://tracing "
+              "or ui.perfetto.dev)")
+        prefix = args.heatmaps
+        if prefix is None:
+            p = Path(args.out)
+            prefix = str(p.with_name(p.stem + "_heatmap"))
+        for path in export_heatmaps(obs, prefix):
+            print(f"wrote {path}")
+    return 0

@@ -1,0 +1,183 @@
+"""Named counters, gauges, and histograms for wafer observability.
+
+The registry is the quantitative half of :mod:`repro.obs` (the span
+tracer is the temporal half): simulator components account *what*
+happened — words moved per fabric, router queue occupancy, core stall
+cycles, FIFO high-water marks — into named instruments that reports and
+exporters read back out.
+
+Instruments are deliberately cheap: a counter increment is one integer
+add, a gauge set is one comparison plus a store, and a histogram
+observation updates count/sum/min/max plus one power-of-two bucket (no
+raw-sample storage, so a million observations cost the same memory as
+ten).  Hot simulator paths additionally sit behind a single
+``fabric.obs is None`` guard (see :mod:`repro.obs.fabric_obs`), so none
+of this executes when no observation is attached.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A named instantaneous value that remembers its extremes."""
+
+    __slots__ = ("name", "value", "max", "min", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self.max = None
+        self.min = None
+        self.samples = 0
+
+    def set(self, v) -> None:
+        self.value = v
+        self.samples += 1
+        if self.max is None or v > self.max:
+            self.max = v
+        if self.min is None or v < self.min:
+            self.min = v
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "gauge",
+            "value": self.value,
+            "max": self.max,
+            "min": self.min,
+            "samples": self.samples,
+        }
+
+
+class Histogram:
+    """A streaming histogram over power-of-two buckets.
+
+    ``observe`` is O(1) and stores no raw samples: bucket ``k`` counts
+    observations with ``2**(k-1) <= v < 2**k`` (bucket 0 counts
+    ``v <= 0``).  ``percentile`` answers from the bucket upper bounds,
+    so it is an upper estimate with at most 2x resolution error — ample
+    for "where do router queue depths live" questions.
+    """
+
+    __slots__ = ("name", "count", "total", "max", "min", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.max = None
+        self.min = None
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, v) -> None:
+        self.count += 1
+        self.total += v
+        if self.max is None or v > self.max:
+            self.max = v
+        if self.min is None or v < self.min:
+            self.min = v
+        k = int(v).bit_length() if v > 0 else 0
+        self.buckets[k] = self.buckets.get(k, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-th percentile (0..100)."""
+        if not self.count:
+            return 0.0
+        need = self.count * min(max(q, 0.0), 100.0) / 100.0
+        seen = 0
+        for k in sorted(self.buckets):
+            seen += self.buckets[k]
+            if seen >= need:
+                upper = 0 if k == 0 else (1 << k) - 1
+                return float(min(upper, self.max))
+        return float(self.max)
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "max": self.max,
+            "min": self.min,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Name -> instrument map with get-or-create accessors.
+
+    Names are dotted paths (``spmv.words_moved``); the fabric observers
+    prefix theirs with the fabric's name so one registry can cover every
+    fabric of a solve.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        m = self._metrics.get(name)
+        if m is None:
+            self._metrics[name] = m = cls(name)
+        elif not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(m).__name__}, not {cls.__name__}"
+            )
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.items()))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def as_dict(self) -> dict:
+        """Every instrument's state, JSON-serialisable."""
+        return {name: m.as_dict() for name, m in self}
+
+    def format(self) -> str:
+        lines = []
+        for name, m in self:
+            d = m.as_dict()
+            kind = d.pop("type")
+            detail = ", ".join(
+                f"{k}={v:.3g}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in d.items() if v is not None
+            )
+            lines.append(f"  {name:<36} {kind:<9} {detail}")
+        return "\n".join(lines) if lines else "  (no metrics recorded)"

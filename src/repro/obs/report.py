@@ -1,0 +1,108 @@
+"""Derived observability reports: phase tables, heatmaps, telemetry.
+
+Three consumers of a recorded :class:`~repro.obs.ObsSession`:
+
+* :func:`phase_table` — the Figure 4 analogue: summed cycles, share of
+  the timeline, per-iteration cost and run count for every phase span
+  (``spmv`` / ``allreduce`` / ``axpy`` / ``dot_local``).  Phase spans
+  tile the unified wafer timeline exactly, so the table's total equals
+  the fabric's cycle clock (asserted by the test suite).
+* :func:`export_heatmaps` — per-tile utilization grids (router words
+  moved, core busy fraction) written as ``.npy`` and ``.csv``.
+* :func:`telemetry_table` — solver-level iteration telemetry (residual,
+  rho, omega, breakdown flags) as a printable table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["phase_table", "export_heatmaps", "telemetry_table"]
+
+
+def phase_table(session, iterations: int | None = None,
+                title: str = "per-phase cycle breakdown") -> str:
+    """Format the per-phase breakdown of a traced solve."""
+    totals = session.phase_totals()
+    if not totals:
+        return f"{title}: no phase spans recorded"
+    grand = sum(totals.values())
+    rows = []
+    for name in sorted(totals, key=lambda n: -totals[n]):
+        cycles = totals[name]
+        row = [name, str(cycles), f"{100.0 * cycles / grand:.1f}%"]
+        if iterations:
+            row.append(f"{cycles / iterations:.1f}")
+        row.append(str(session.tracer.count(name)))
+        rows.append(row)
+    total_row = ["total", str(grand), "100.0%"]
+    if iterations:
+        total_row.append(f"{grand / iterations:.1f}")
+    total_row.append("")
+    rows.append(total_row)
+    header = ["phase", "cycles", "share"]
+    if iterations:
+        header.append("cycles/iter")
+    header.append("spans")
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+              for i in range(len(header))]
+    lines = [title,
+             "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+             "  ".join("-" * w for w in widths)]
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def export_heatmaps(session, prefix) -> list[Path]:
+    """Write per-tile utilization heatmaps for every observed fabric.
+
+    For each fabric ``f`` and grid ``g`` produces
+    ``<prefix>_<f>_<g>.npy`` (exact dtype) and ``.csv`` (portable).
+    Returns the written paths.
+    """
+    prefix = Path(prefix)
+    if prefix.parent != Path(""):
+        prefix.parent.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for fname, obs in session.fabrics.items():
+        for gname, grid in obs.utilization_grids().items():
+            base = Path(f"{prefix}_{fname}_{gname}")
+            npy = base.with_suffix(".npy")
+            np.save(npy, grid)
+            csv = base.with_suffix(".csv")
+            fmt = "%d" if np.issubdtype(grid.dtype, np.integer) else "%.6f"
+            np.savetxt(csv, grid, delimiter=",", fmt=fmt)
+            written.extend([npy, csv])
+    return written
+
+
+def telemetry_table(session, title: str = "iteration telemetry") -> str:
+    """Format the solver's per-iteration telemetry records."""
+    recs = session.telemetry
+    if not recs:
+        return f"{title}: (none recorded)"
+    keys: list[str] = []
+    for r in recs:
+        for k in r:
+            if k not in keys:
+                keys.append(k)
+
+    def fmt(v) -> str:
+        if v is None:
+            return "-"
+        if isinstance(v, float):
+            return f"{v:.3e}"
+        return str(v)
+
+    rows = [[fmt(r.get(k)) for k in keys] for r in recs]
+    widths = [max(len(k), *(len(row[i]) for row in rows))
+              for i, k in enumerate(keys)]
+    lines = [title,
+             "  ".join(k.ljust(w) for k, w in zip(keys, widths)),
+             "  ".join("-" * w for w in widths)]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

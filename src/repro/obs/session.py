@@ -1,0 +1,89 @@
+"""The observation facade: one tracer + one registry + fabric observers.
+
+An :class:`ObsSession` is what callers hand to the DES kernels and
+solver (``DESBiCGStab(op, obs=session)``): it owns the
+:class:`~repro.obs.span.SpanTracer` for the unified wafer timeline, the
+:class:`~repro.obs.metrics.MetricsRegistry` shared by every fabric, the
+per-fabric :class:`~repro.obs.fabric_obs.FabricObserver` attachments,
+and solver-level iteration telemetry (residual, rho, omega, breakdown
+flags).  Export it whole with :meth:`write_chrome_trace`, or read the
+derived reports in :mod:`repro.obs.report`.
+"""
+
+from __future__ import annotations
+
+from .export import write_chrome_trace
+from .fabric_obs import FabricObserver
+from .metrics import MetricsRegistry
+from .span import SpanTracer
+
+__all__ = ["ObsSession"]
+
+
+class ObsSession:
+    """A complete observation of one (or more) simulated runs."""
+
+    def __init__(self, clock=None, keep_series: bool = True):
+        self.tracer = SpanTracer(clock)
+        self.metrics = MetricsRegistry()
+        #: name -> FabricObserver for every observed fabric.
+        self.fabrics: dict[str, FabricObserver] = {}
+        #: Per-iteration solver telemetry dicts, in iteration order.
+        self.telemetry: list[dict] = []
+        self._keep_series = keep_series
+
+    # ------------------------------------------------------------------
+    def observe_fabric(self, name: str, fabric) -> FabricObserver:
+        """Attach (or return the existing) observer for ``fabric``.
+
+        Sets ``fabric.obs`` so the engine's single hot-path guard starts
+        forwarding per-cycle callbacks; idempotent per (name, fabric).
+        """
+        obs = self.fabrics.get(name)
+        if obs is not None and obs.fabric is fabric:
+            return obs
+        if obs is not None:
+            raise ValueError(
+                f"fabric name {name!r} already observed on another fabric"
+            )
+        obs = FabricObserver(name, fabric, self.metrics,
+                             keep_series=self._keep_series)
+        self.fabrics[name] = obs
+        fabric.obs = obs
+        return obs
+
+    def unique_fabric_name(self, base: str) -> str:
+        """First unused observer name among ``base``, ``base.1``, ...
+        (one-shot kernel runners build a fresh fabric per call)."""
+        if base not in self.fabrics:
+            return base
+        k = 1
+        while f"{base}.{k}" in self.fabrics:
+            k += 1
+        return f"{base}.{k}"
+
+    def detach(self) -> None:
+        """Unhook every observed fabric (restores zero-overhead mode)."""
+        for obs in self.fabrics.values():
+            if getattr(obs.fabric, "obs", None) is obs:
+                obs.fabric.obs = None
+
+    def harvest(self) -> None:
+        """Fold component-resident counters (per-router words, FIFO
+        high-water) into the registry on every observed fabric."""
+        for obs in self.fabrics.values():
+            obs.harvest()
+
+    # ------------------------------------------------------------------
+    def record_iteration(self, **fields) -> None:
+        """Append one iteration's solver telemetry."""
+        self.telemetry.append(dict(fields))
+
+    # ------------------------------------------------------------------
+    def phase_totals(self) -> dict[str, int]:
+        """Summed cycles per phase span (the Figure 4 quantities)."""
+        return self.tracer.totals(cat="phase")
+
+    def write_chrome_trace(self, path):
+        """Export everything recorded so far as Chrome-trace JSON."""
+        return write_chrome_trace(self, path)

@@ -1,0 +1,128 @@
+"""Nestable cycle-stamped spans on the wafer timeline.
+
+The paper's headline numbers are *per-phase* timings — SpMV, AXPY,
+dot/AllReduce shares of a 28.1 µs BiCGStab iteration (its Figure 4).
+A :class:`SpanTracer` records exactly that structure: named intervals
+``[start_cycle, end_cycle)`` on named tracks, nesting freely
+(``iteration[3]`` encloses two ``spmv`` spans, four ``allreduce``
+spans, ...), exportable to Chrome-trace/Perfetto JSON via
+:mod:`repro.obs.export`.
+
+Timestamps are simulated fabric cycles, not wall-clock time.  The
+tracer takes a ``clock`` callable returning the current cycle (for the
+DES solver that is the unified wafer timeline,
+``DESCycleReport.total_cycles``); spans can also be recorded after the
+fact with explicit start/duration, which is how kernel runners report a
+window they just simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "SpanTracer"]
+
+
+@dataclass
+class Span:
+    """One closed interval on the wafer timeline."""
+
+    name: str
+    start: int
+    dur: int
+    track: str = "wafer"
+    cat: str = ""
+    args: dict = field(default_factory=dict)
+
+    @property
+    def end(self) -> int:
+        return self.start + self.dur
+
+
+class _OpenSpan:
+    """Context manager returned by :meth:`SpanTracer.span`."""
+
+    __slots__ = ("_tracer", "name", "track", "cat", "args", "start")
+
+    def __init__(self, tracer, name, track, cat, args):
+        self._tracer = tracer
+        self.name = name
+        self.track = track
+        self.cat = cat
+        self.args = args or {}
+        self.start = None
+
+    def __enter__(self):
+        self.start = self._tracer.now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        end = self._tracer.now()
+        self._tracer.record(
+            self.name, self.start, end - self.start,
+            track=self.track, cat=self.cat, args=self.args,
+        )
+        return False
+
+
+class SpanTracer:
+    """Collects :class:`Span` values plus counter samples.
+
+    Parameters
+    ----------
+    clock:
+        Callable returning the current cycle; required only for the
+        ``with tracer.span(...)`` form (explicit-interval
+        :meth:`record` works without it).
+    """
+
+    def __init__(self, clock=None):
+        self.clock = clock
+        self.spans: list[Span] = []
+        #: (series name, cycle, value) samples — exported as Chrome
+        #: counter ("C") events; used for residual-vs-cycle curves.
+        self.samples: list[tuple[str, int, float]] = []
+
+    def now(self) -> int:
+        if self.clock is None:
+            raise RuntimeError(
+                "SpanTracer has no clock; pass clock= or use record()"
+            )
+        return int(self.clock())
+
+    def span(self, name: str, track: str = "wafer", cat: str = "",
+             args: dict | None = None) -> _OpenSpan:
+        """``with tracer.span("spmv"):`` — cycle-stamped via the clock."""
+        return _OpenSpan(self, name, track, cat, args)
+
+    def record(self, name: str, start: int, dur: int, track: str = "wafer",
+               cat: str = "", args: dict | None = None) -> Span:
+        """Record a finished interval with explicit cycle bounds."""
+        span = Span(name, int(start), int(dur), track=track, cat=cat,
+                    args=dict(args) if args else {})
+        self.spans.append(span)
+        return span
+
+    def sample(self, series: str, cycle: int, value: float) -> None:
+        """Record one point of a counter series (e.g. residual)."""
+        self.samples.append((series, int(cycle), float(value)))
+
+    # ------------------------------------------------------------------
+    # Aggregation (the Figure 4 analogue)
+    # ------------------------------------------------------------------
+    def totals(self, cat: str | None = None) -> dict[str, int]:
+        """Summed duration per span name, optionally filtered by
+        category.  This is the per-phase cycle breakdown when applied to
+        ``cat="phase"`` spans (which tile the timeline exactly)."""
+        out: dict[str, int] = {}
+        for s in self.spans:
+            if cat is not None and s.cat != cat:
+                continue
+            out[s.name] = out.get(s.name, 0) + s.dur
+        return out
+
+    def count(self, name: str) -> int:
+        return sum(1 for s in self.spans if s.name == name)
+
+    def __len__(self) -> int:
+        return len(self.spans)

@@ -1,0 +1,123 @@
+"""Lightweight words/occupancy tracing (the pre-obs ``FabricTrace``).
+
+This is the original :mod:`repro.wse.stats` recorder, folded into the
+observability layer and rebuilt on the PR 2 active-set engine's public
+surface:
+
+* :meth:`FabricTrace.snapshot` samples queue occupancy over
+  ``fabric.active_routers()`` — the set of routers that can hold queued
+  words — instead of sweeping every router of the grid each cycle
+  (which cost O(width x height) per cycle and defeated the active-set
+  engine for exactly the programs it accelerates);
+* :func:`trace_run` is now a thin wrapper over ``Fabric.run``'s public
+  ``on_cycle`` observer hook rather than a duplicated copy of the run
+  loop reaching into private engine fields.
+
+``repro.wse.stats`` re-exports both names as a deprecation shim.  New
+code wanting phase spans, metrics, and Chrome-trace export should use
+:class:`repro.obs.ObsSession` instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FabricTrace", "trace_run"]
+
+
+class FabricTrace:
+    """Recorder of per-cycle network activity on one fabric.
+
+    Attach before running (pass :meth:`snapshot` as ``Fabric.run``'s
+    ``on_cycle`` callback, or call it manually after each ``step``),
+    then read the report.
+    """
+
+    def __init__(self, fabric):
+        self.fabric = fabric
+        self.words_per_cycle: list[int] = []
+        self.peak_occupancy = 0
+        self._last_total = 0
+        #: Routers ever seen in the active set — the candidate pool for
+        #: :meth:`busiest_routers` (a router that moved words was
+        #: necessarily active while it held them).
+        self._seen: set = set()
+
+    def snapshot(self, fabric=None) -> None:
+        """Record one cycle's activity (``Fabric.run`` on_cycle hook)."""
+        f = self.fabric
+        moved = f.total_words_moved - self._last_total
+        self._last_total = f.total_words_moved
+        self.words_per_cycle.append(moved)
+        occ = 0
+        seen_add = self._seen.add
+        for router in f.active_routers():
+            seen_add(router)
+            o = router.occupancy()
+            if o > occ:
+                occ = o
+        if occ > self.peak_occupancy:
+            self.peak_occupancy = occ
+
+    # ------------------------------------------------------------------
+    @property
+    def cycles(self) -> int:
+        return len(self.words_per_cycle)
+
+    @property
+    def total_words(self) -> int:
+        return int(np.sum(self.words_per_cycle)) if self.words_per_cycle else 0
+
+    @property
+    def mean_words_per_cycle(self) -> float:
+        return self.total_words / self.cycles if self.cycles else 0.0
+
+    @property
+    def peak_words_per_cycle(self) -> int:
+        return max(self.words_per_cycle) if self.words_per_cycle else 0
+
+    def utilization(self) -> float:
+        """Mean fraction of the peak observed network activity."""
+        if not self.words_per_cycle or self.peak_words_per_cycle == 0:
+            return 0.0
+        return self.mean_words_per_cycle / self.peak_words_per_cycle
+
+    def busiest_routers(self, k: int = 5) -> list[tuple[tuple[int, int], int]]:
+        """Top-k routers by cumulative words moved (among routers that
+        were ever active during the trace — no full-grid sweep)."""
+        counts = [((r.x, r.y), r.words_moved) for r in self._seen]
+        counts.sort(key=lambda t: (-t[1], t[0]))
+        return counts[:k]
+
+    def report(self) -> str:
+        lines = [
+            f"fabric trace: {self.cycles} cycles, {self.total_words} words",
+            f"  mean {self.mean_words_per_cycle:.2f} words/cycle, "
+            f"peak {self.peak_words_per_cycle}, "
+            f"utilization {self.utilization() * 100:.0f}% of peak cycle",
+            f"  peak router occupancy: {self.peak_occupancy} words",
+        ]
+        busiest = self.busiest_routers(3)
+        if busiest:
+            tops = ", ".join(f"({x},{y}): {n}" for (x, y), n in busiest)
+            lines.append(f"  busiest routers: {tops}")
+        return "\n".join(lines)
+
+
+def trace_run(fabric, max_cycles: int = 100_000, until=None):
+    """Run a fabric to completion while recording a trace.
+
+    Same semantics as ``Fabric.run`` (including immediate
+    ``FabricDeadlockError`` diagnosis) but returns ``(cycles, trace)``.
+    The trace is recorded through the public per-cycle observer hook,
+    so on deadlock the partial trace up to and including the stuck
+    cycle is preserved on the raised error's ``trace`` attribute.
+    """
+    trace = FabricTrace(fabric)
+    try:
+        cycles = fabric.run(max_cycles=max_cycles, until=until,
+                            on_cycle=trace.snapshot)
+    except RuntimeError as err:
+        err.trace = trace
+        raise
+    return cycles, trace

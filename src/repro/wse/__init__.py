@@ -66,7 +66,7 @@ from .analyze import (
     TaskDecl,
     analyze_program,
 )
-from .stats import FabricTrace, trace_run
+from ..obs.trace import FabricTrace, trace_run
 from .allreduce import (
     allreduce_latency_cycles,
     allreduce_latency_seconds,

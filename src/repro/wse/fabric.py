@@ -33,6 +33,20 @@ Two step engines share the same cycle semantics (see
 Word accounting counts one word per *delivered destination*: a move
 whose route fans out to three output ports adds three to
 ``Router.words_moved`` and ``Fabric.total_words_moved``.
+
+Observability
+-------------
+Two public hooks expose the engine without perturbing it (see
+``docs/observability.md``):
+
+* ``fabric.obs`` — when not ``None``, an observer (usually a
+  :class:`repro.obs.FabricObserver`) receiving ``on_cycle(fabric,
+  words, elements)`` after every stepped cycle and ``on_skip(n)`` for
+  O(1) fast-forwarded spans.  The entire disabled-mode cost is the
+  ``is None`` check.
+* ``Fabric.run(..., on_cycle=...)`` — a per-cycle callback on the run
+  loop itself, called after each step and before the deadlock
+  diagnosis, so tracers see the final (stuck) cycle of a failing run.
 """
 
 from __future__ import annotations
@@ -265,6 +279,11 @@ class Fabric:
         #: Engine selector: "active" (default) or "reference".
         self.engine = "active"
         self.stats = FabricStats()
+        #: Observability hook (``repro.obs.FabricObserver`` protocol):
+        #: ``on_cycle(fabric, words, elements)`` per stepped cycle,
+        #: ``on_skip(n)`` per fast-forwarded span.  The hot path pays a
+        #: single ``is None`` test while detached.
+        self.obs = None
         # ---- active sets (coords are (y, x) to match sweep order) ----
         self._active_routers: set[tuple[int, int]] = set()
         self._awake_cores: set[tuple[int, int]] = set()
@@ -342,6 +361,29 @@ class Fabric:
         dx, dy = DIRECTION[port]
         nx, ny = x + dx, y + dy
         return (nx, ny) if self.in_bounds(nx, ny) else None
+
+    # ------------------------------------------------------------------
+    # Observability accessors (the public face of the active sets)
+    # ------------------------------------------------------------------
+    def active_routers(self) -> list[Router]:
+        """Routers that may hold queued words this cycle.
+
+        The engine invariant (both engines maintain it): any router
+        with a non-empty queue is in the active set, so scanning this
+        list — O(active), not O(width x height) — is sufficient for
+        occupancy sampling.  The set is pruned lazily, so some listed
+        routers may already be empty.
+        """
+        routers = self.routers
+        return [routers[y][x] for (y, x) in self._active_routers]
+
+    def stalled_core_count(self) -> int:
+        """How many cores hold stalled instructions right now."""
+        return len(self._stalled_cores)
+
+    def stalled_core_coords(self) -> list[tuple[int, int]]:
+        """(x, y) of every core holding a stalled instruction."""
+        return sorted((x, y) for (y, x) in self._stalled_cores)
 
     # ------------------------------------------------------------------
     # Route bindings (cached, resolved routing decisions)
@@ -697,6 +739,8 @@ class Fabric:
             stats.skipped_cycles += 1
             if stats.record_trace:
                 stats.trace.append((0, 0))
+            if self.obs is not None:
+                self.obs.on_skip(1)
             return {"words_moved": 0, "elements": 0}
         n_routers = len(self._active_routers)
         n_cores = len(self._awake_cores)
@@ -712,6 +756,8 @@ class Fabric:
         elements = self._step_cores_active()
         self.cycle += 1
         stats.cycles += 1
+        if self.obs is not None:
+            self.obs.on_cycle(self, words, elements)
         return {"words_moved": words, "elements": elements}
 
     def skip_cycles(self, n: int) -> None:
@@ -733,6 +779,8 @@ class Fabric:
         self.cycle += n
         self.stats.cycles += n
         self.stats.skipped_cycles += n
+        if self.obs is not None and n:
+            self.obs.on_skip(n)
 
     # ------------------------------------------------------------------
     # Simulation — reference engine (the original full sweep)
@@ -773,6 +821,8 @@ class Fabric:
                     stalled.discard(coord)
         self.cycle += 1
         stats.cycles += 1
+        if self.obs is not None:
+            self.obs.on_cycle(self, words, elements)
         return {"words_moved": words, "elements": elements}
 
     def _step_network_reference(self) -> int:
@@ -920,7 +970,7 @@ class Fabric:
             "flags, or is the predicate watching the wrong state?)"
         )
 
-    def run(self, max_cycles: int = 100_000, until=None) -> int:
+    def run(self, max_cycles: int = 100_000, until=None, on_cycle=None) -> int:
         """Step until ``until(fabric)`` is true or the fabric quiesces.
 
         Returns the cycle count.  Raises
@@ -928,10 +978,17 @@ class Fabric:
         further progress while the run is unfinished (wedged programs
         fail in one cycle, not after ``max_cycles`` no-op sweeps), and
         ``RuntimeError`` on timeout.
+
+        ``on_cycle(fabric)``, when given, is invoked after every stepped
+        cycle — *before* the completion and deadlock checks, so an
+        observer sees the final (possibly stuck) cycle and a partial
+        trace survives a :class:`FabricDeadlockError`.
         """
         step = self.step
         for _ in range(max_cycles):
             step()
+            if on_cycle is not None:
+                on_cycle(self)
             if until is not None:
                 if until(self):
                     return self.cycle

@@ -1,117 +1,37 @@
-"""Fabric instrumentation: traffic traces and utilization statistics.
+"""Deprecated shim — the fabric trace recorder moved to ``repro.obs``.
 
-The paper reasons about the fabric in terms of sustained words per
-cycle per link and router occupancy (injection bandwidth = 16 B/cycle,
-one word per channel per link per cycle).  This module records those
-quantities from a running :class:`~repro.wse.fabric.Fabric` so kernel
-authors can see where a program is fabric-limited:
+``FabricTrace`` and ``trace_run`` now live in :mod:`repro.obs.trace`,
+rebuilt on the active-set engine's public surface (occupancy sampled
+over ``fabric.active_routers()``; the run loop reused via
+``Fabric.run(..., on_cycle=...)`` instead of a private-field copy).
 
-* per-cycle total words moved (the network activity trace);
-* per-router cumulative words and peak queue occupancy (hot spots).
-
-Attach a :class:`FabricTrace` before running, then read its report.
+This module re-exports both names so existing imports keep working; a
+:class:`DeprecationWarning` fires on attribute access (PEP 562), not on
+import, so merely importing :mod:`repro.wse` stays silent.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from .fabric import Fabric, FabricDeadlockError
+import warnings
 
 __all__ = ["FabricTrace", "trace_run"]
 
-
-@dataclass
-class FabricTrace:
-    """Recorder wrapping a fabric's step loop."""
-
-    fabric: Fabric
-    words_per_cycle: list[int] = field(default_factory=list)
-    peak_occupancy: int = 0
-    _last_total: int = 0
-
-    def snapshot(self) -> None:
-        """Record one cycle's activity (call after each fabric.step)."""
-        moved = self.fabric.total_words_moved - self._last_total
-        self._last_total = self.fabric.total_words_moved
-        self.words_per_cycle.append(moved)
-        occ = 0
-        for row in self.fabric.routers:
-            for router in row:
-                occ = max(occ, router.occupancy())
-        self.peak_occupancy = max(self.peak_occupancy, occ)
-
-    # ------------------------------------------------------------------
-    @property
-    def cycles(self) -> int:
-        return len(self.words_per_cycle)
-
-    @property
-    def total_words(self) -> int:
-        return int(np.sum(self.words_per_cycle)) if self.words_per_cycle else 0
-
-    @property
-    def mean_words_per_cycle(self) -> float:
-        return self.total_words / self.cycles if self.cycles else 0.0
-
-    @property
-    def peak_words_per_cycle(self) -> int:
-        return max(self.words_per_cycle) if self.words_per_cycle else 0
-
-    def utilization(self) -> float:
-        """Mean fraction of the peak observed network activity."""
-        if not self.words_per_cycle or self.peak_words_per_cycle == 0:
-            return 0.0
-        return self.mean_words_per_cycle / self.peak_words_per_cycle
-
-    def busiest_routers(self, k: int = 5) -> list[tuple[tuple[int, int], int]]:
-        """Top-k routers by cumulative words moved."""
-        counts = []
-        for row in self.fabric.routers:
-            for router in row:
-                counts.append(((router.x, router.y), router.words_moved))
-        counts.sort(key=lambda t: -t[1])
-        return counts[:k]
-
-    def report(self) -> str:
-        lines = [
-            f"fabric trace: {self.cycles} cycles, {self.total_words} words",
-            f"  mean {self.mean_words_per_cycle:.2f} words/cycle, "
-            f"peak {self.peak_words_per_cycle}, "
-            f"utilization {self.utilization() * 100:.0f}% of peak cycle",
-            f"  peak router occupancy: {self.peak_occupancy} words",
-        ]
-        busiest = self.busiest_routers(3)
-        if busiest:
-            tops = ", ".join(f"({x},{y}): {n}" for (x, y), n in busiest)
-            lines.append(f"  busiest routers: {tops}")
-        return "\n".join(lines)
+_MOVED = {"FabricTrace", "trace_run"}
 
 
-def trace_run(
-    fabric: Fabric, max_cycles: int = 100_000, until=None
-) -> tuple[int, FabricTrace]:
-    """Run a fabric to completion while recording a trace.
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.wse.stats.{name} has moved to repro.obs.trace; "
+            "import it from repro.obs (or repro.wse) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..obs import trace
 
-    Same semantics as ``Fabric.run`` but returns ``(cycles, trace)``.
-    """
-    trace = FabricTrace(fabric)
-    for _ in range(max_cycles):
-        fabric.step()
-        trace.snapshot()
-        if until is not None:
-            if until(fabric):
-                return fabric.cycle, trace
-            if (
-                not fabric._active_routers
-                and not fabric._tx_cores
-                and (not fabric._awake_cores or fabric.quiescent())
-            ):
-                raise FabricDeadlockError(fabric._diagnose_deadlock(True))
-        elif fabric.quiescent():
-            return fabric.cycle, trace
-    raise RuntimeError(
-        f"fabric did not quiesce within {max_cycles} cycles"
-    )
+        return getattr(trace, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _MOVED)

@@ -1,0 +1,49 @@
+"""Smoke tests for the ``python -m repro trace`` CLI path."""
+
+import json
+
+from repro.cli import main
+from repro.obs.cli import trace_report
+
+
+class TestTraceCli:
+    def test_trace_writes_and_prints(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main([
+            "trace", "--shape", "4", "4", "8", "--maxiter", "6",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "per-phase cycle breakdown" in printed
+        assert "iteration telemetry" in printed
+        assert "100.0%" in printed
+        data = json.loads(out.read_text())
+        assert data["traceEvents"]
+        assert data["otherData"]["timestamp_unit"] == "1 simulated fabric cycle"
+        heatmaps = list(tmp_path.glob("trace_heatmap_*"))
+        assert any(p.suffix == ".npy" for p in heatmaps)
+        assert any(p.suffix == ".csv" for p in heatmaps)
+
+    def test_no_files_mode(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["trace", "--shape", "4", "4", "8", "--maxiter", "6",
+                   "--no-files"])
+        assert rc == 0
+        assert "per-phase cycle breakdown" in capsys.readouterr().out
+        assert not list(tmp_path.iterdir())
+
+    def test_report_registry_entry(self):
+        from repro.analysis.reports import REPORTS
+
+        assert "trace" in REPORTS
+        assert REPORTS["trace"] is not None
+
+    def test_trace_report_renders(self):
+        text = trace_report()
+        assert "per-phase cycle breakdown" in text
+        assert "observed fabrics:" in text
+
+    def test_listed_in_help(self, capsys):
+        main(["list"])
+        assert "trace" in capsys.readouterr().out
