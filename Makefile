@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test lint trace bench bench-smoke bench-verbose examples report all clean
+.PHONY: install test lint verify-contracts check trace bench bench-smoke bench-verbose examples report all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -16,6 +16,17 @@ lint:
 	@python -c "import pyflakes" 2>/dev/null \
 		&& python -m pyflakes src \
 		|| echo "pyflakes not installed; skipped"
+
+# Dynamic verification: run every shipped program under the DES engine
+# and hold the observed per-router word counts (exactly) and cycle
+# counts (>= the static lower bound) to each program's StaticContract.
+verify-contracts:
+	PYTHONPATH=src python -m repro verify-contracts
+
+# The pre-PR gate: static analysis, contract verification against the
+# engine, then the tier-1 test suite.  Run before every PR.
+check: lint verify-contracts
+	PYTHONPATH=src python -m pytest -x -q
 
 # Observed DES solve: per-phase cycle table + iteration telemetry on
 # stdout, Chrome-trace JSON (open in chrome://tracing / ui.perfetto.dev)

@@ -464,6 +464,13 @@ def observed_trace_report() -> str:
     return trace_report()
 
 
+def verify_contracts_report() -> str:
+    """Run every program, check observed words/cycles against contracts."""
+    from ..wse.analyze.verify_contracts import verify_report_text
+
+    return verify_report_text()
+
+
 #: CLI dispatch table: name -> report function.
 REPORTS = {
     "headline": headline_report,
@@ -484,5 +491,6 @@ REPORTS = {
     "energy": energy_report,
     "des-scale": des_scale_report,
     "lint": lint_report,
+    "verify-contracts": verify_contracts_report,
     "trace": observed_trace_report,
 }

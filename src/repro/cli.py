@@ -30,8 +30,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default="list",
         help=(
-            "report name, 'list', 'all', 'lint', 'trace', or "
-            "'write-report' (default: list)"
+            "report name, 'list', 'all', 'lint', 'verify-contracts', "
+            "'trace', or 'write-report' (default: list)"
         ),
     )
     parser.add_argument(
@@ -60,6 +60,16 @@ def main(argv: list[str] | None = None) -> int:
         from .obs.cli import trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "lint":
+        # `lint` owns --json; same early dispatch as trace.
+        from .wse.analyze.lint import lint_main
+
+        return lint_main(argv[1:])
+    if argv and argv[0] == "verify-contracts":
+        # `verify-contracts` owns --engine; same early dispatch.
+        from .wse.analyze.verify_contracts import verify_main
+
+        return verify_main(argv[1:])
     args = build_parser().parse_args(argv)
     name = args.report
     if name == "list":
@@ -70,10 +80,6 @@ def main(argv: list[str] | None = None) -> int:
             print(f"\n{'=' * 70}\n== {key}\n{'=' * 70}")
             print(fn())
         return 0
-    if name == "lint":
-        from .wse.analyze.lint import lint_main
-
-        return lint_main()
     if name == "write-report":
         from .analysis.harness import write_report
 

@@ -27,7 +27,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..wse.analyze import InstrDecl, MemRef, ScalarRef, analyze_program
+from ..wse.analyze import (
+    InstrDecl,
+    MemRef,
+    ScalarRef,
+    analyze_program,
+    compute_contract,
+)
 from ..wse.config import CS1, MachineConfig
 from ..wse.core import Core
 from ..wse.dsr import Instruction, MemCursor, ScalarAccumulator
@@ -83,9 +89,12 @@ def build_axpy_fabric(
         "axpy", MemRef("out", 0, n),
         (MemRef("y", 0, n), MemRef("x", 0, n)),
         length=n, thread=0, name="axpy",
+        rate=config.simd_width_fp16,
     ))
     if analyze:
         analyze_program(fabric).raise_on_error()
+    else:
+        fabric.static_contract = compute_contract(fabric)
     return fabric, out, instr
 
 
@@ -121,9 +130,12 @@ def build_dot_fabric(
         "mac", ScalarRef("float32"),
         (MemRef("x", 0, n), MemRef("y", 0, n)),
         length=n, thread=0, name="dot",
+        rate=config.mixed_fmacs_per_cycle,
     ))
     if analyze:
         analyze_program(fabric).raise_on_error()
+    else:
+        fabric.static_contract = compute_contract(fabric)
     return fabric, acc, instr
 
 

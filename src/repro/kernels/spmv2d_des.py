@@ -30,7 +30,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..problems.stencil9 import OFFSETS_9PT, Stencil9
-from ..wse.analyze import FabricRef, InstrDecl, MemRef, analyze_program
+from ..wse.analyze import (
+    FabricRef,
+    InstrDecl,
+    MemRef,
+    analyze_program,
+    compute_contract,
+)
 from ..wse.config import CS1, MachineConfig
 from ..wse.core import Core
 from ..wse.dsr import Action, Completion, FabricRx, FabricTx, Instruction, MemCursor
@@ -341,6 +347,10 @@ def build_spmv2d_fabric(
             )
     if analyze:
         analyze_program(fabric).raise_on_error()
+    else:
+        # Shipped programs always carry their StaticContract (exact link
+        # words + cycle lower bound; names CDG cycles on deadlock).
+        fabric.static_contract = compute_contract(fabric)
     fabric.engine = engine
     return fabric, programs
 

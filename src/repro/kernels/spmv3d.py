@@ -43,7 +43,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..problems.stencil7 import Stencil7
-from ..wse.analyze import FabricRef, FifoRef, InstrDecl, MemRef, analyze_program
+from ..wse.analyze import (
+    FabricRef,
+    FifoRef,
+    InstrDecl,
+    MemRef,
+    analyze_program,
+    compute_contract,
+)
 from ..wse.channels import tile_channel
 from ..wse.config import CS1, MachineConfig
 from ..wse.core import Core
@@ -401,6 +408,11 @@ def build_spmv_fabric(
             )
     if analyze:
         analyze_program(fabric).raise_on_error()
+    else:
+        # Every shipped program carries its StaticContract: exact
+        # per-link word counts plus the cycle lower bound, and the
+        # runtime names the predicted CDG cycle on a deadlock.
+        fabric.static_contract = compute_contract(fabric)
     fabric.prebind()
     return fabric, programs
 

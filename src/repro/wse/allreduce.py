@@ -182,6 +182,64 @@ def _role_of(x: int, y: int, width: int, height: int) -> _Role:
     return _Role(row_sink, col_sink, root, n_row, n_col)
 
 
+def _reduce_decl(role: _Role):
+    """A tile's static program declaration, derived from its role.
+
+    Mirrors exactly what :meth:`ReduceCore._advance` does on each phase
+    channel — one word sent per forwarding role, ``n_row``/``n_col``/3
+    words accumulated per sink — so the analyzer's flow-conservation and
+    contract passes can verify the whole collective against the Fig. 6
+    routing pattern word-for-word.
+    """
+    from .analyze.spec import FabricRef, InstrDecl, ProgramDecl, ScalarRef
+
+    acc = ScalarRef("float32")
+    instrs = []
+    if not role.row_sink:
+        instrs.append(InstrDecl(
+            "copy", FabricRef(CH_ROW, 1), (acc,), length=1, name="row_send",
+        ))
+    else:
+        if role.n_row:
+            instrs.append(InstrDecl(
+                "add", acc, (FabricRef(CH_ROW, role.n_row),),
+                length=role.n_row, name="row_acc",
+            ))
+        if not role.col_sink:
+            instrs.append(InstrDecl(
+                "copy", FabricRef(CH_COL, 1), (acc,), length=1,
+                name="col_send",
+            ))
+        else:
+            if role.n_col:
+                instrs.append(InstrDecl(
+                    "add", acc, (FabricRef(CH_COL, role.n_col),),
+                    length=role.n_col, name="col_acc",
+                ))
+            if not role.root:
+                instrs.append(InstrDecl(
+                    "copy", FabricRef(CH_GATHER, 1), (acc,), length=1,
+                    name="gather_send",
+                ))
+            else:
+                instrs.append(InstrDecl(
+                    "add", acc, (FabricRef(CH_GATHER, 3),), length=3,
+                    name="gather_acc",
+                ))
+                instrs.append(InstrDecl(
+                    "copy", FabricRef(CH_BCAST, 1), (acc,), length=1,
+                    name="bcast_send",
+                ))
+    if not role.root:
+        instrs.append(InstrDecl(
+            "copy", acc, (FabricRef(CH_BCAST, 1),), length=1,
+            name="bcast_recv",
+        ))
+    decl = ProgramDecl()
+    decl.launched(*instrs)
+    return decl
+
+
 class ReduceCore:
     """Minimal core participating in the AllReduce.
 
@@ -194,6 +252,7 @@ class ReduceCore:
     def __init__(self, x: int, y: int, width: int, height: int, value: float):
         self.x, self.y = x, y
         self.role = _role_of(x, y, width, height)
+        self.program_decl = _reduce_decl(self.role)
         self.acc = np.float32(value)
         self.result: np.float32 | None = None
         self._inbox: deque = deque()
@@ -311,6 +370,11 @@ class AllReduceEngine:
                 self.cores.append(core)
         if engine != "reference":
             self.fabric.prebind()
+        from .analyze.contracts import compute_contract
+
+        # The collective carries its static contract like every shipped
+        # program: exact per-link words per reduce, cycle lower bound.
+        self.fabric.static_contract = compute_contract(self.fabric)
         self.runs = 0
 
     def reduce(self, values: np.ndarray) -> tuple[float, int]:

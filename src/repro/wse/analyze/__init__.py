@@ -4,20 +4,38 @@ Verifies routing, flow conservation, the task activation graph, DSR
 memory safety, the per-tile SRAM budget and mixed-precision hygiene of a
 constructed program *before* simulating a single cycle — the class of
 checking the paper says belongs in compilation ("routes are configured
-offline", section II.A).
+offline", section II.A).  On top of the defect passes sit the safety
+and performance proofs: the Dally–Seitz channel-dependency-graph pass
+(:mod:`repro.wse.analyze.cdg`) proves deadlock freedom or synthesizes a
+validated counterexample, and the contract pass
+(:mod:`repro.wse.analyze.contracts`) derives the exact per-link word
+counts plus a cycle lower bound the DES engine is held to.
 
 Typical use::
 
     from repro.wse.analyze import analyze_program
     report = analyze_program(fabric)
     report.raise_on_error()          # or inspect report.diagnostics
+    report.contract                  # the StaticContract, also attached
+                                     # to fabric.static_contract
 
-The command-line entry point is ``python -m repro lint`` (implemented in
-:mod:`repro.wse.analyze.lint`, imported lazily by the CLI so this
-package stays import-cycle-free with :mod:`repro.wse.core`).
+The command-line entry points are ``python -m repro lint`` (implemented
+in :mod:`repro.wse.analyze.lint`) and ``python -m repro
+verify-contracts`` (:mod:`repro.wse.analyze.verify_contracts`), both
+imported lazily by the CLI so this package stays import-cycle-free with
+:mod:`repro.wse.core`.
 """
 
 from .analyzer import ALL_PASSES, analyze_program
+from .cdg import (
+    cdg_pass,
+    channel_dependency_graph,
+    confirm_counterexample,
+    extract_cycle,
+    format_cdg_cycle,
+    synthesize_counterexample,
+)
+from .contracts import StaticContract, compute_contract, contract_pass
 from .diagnostics import AnalysisError, AnalysisReport, Diagnostic, Severity
 from .passes import (
     dsr_pass,
@@ -31,6 +49,7 @@ from .spec import (
     BUILD_LAUNCH,
     FabricRef,
     FifoRef,
+    FifoSpec,
     InstrDecl,
     MemRef,
     ProgramDecl,
@@ -51,6 +70,15 @@ __all__ = [
     "dsr_pass",
     "sram_pass",
     "precision_pass",
+    "cdg_pass",
+    "channel_dependency_graph",
+    "extract_cycle",
+    "format_cdg_cycle",
+    "synthesize_counterexample",
+    "confirm_counterexample",
+    "StaticContract",
+    "compute_contract",
+    "contract_pass",
     "routes_by_channel",
     "forwarding_graph",
     "cyclic_sccs",
@@ -59,6 +87,7 @@ __all__ = [
     "ScalarRef",
     "FabricRef",
     "FifoRef",
+    "FifoSpec",
     "InstrDecl",
     "TaskDecl",
     "ProgramDecl",

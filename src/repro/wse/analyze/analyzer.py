@@ -9,6 +9,8 @@ without executing a single cycle.
 
 from __future__ import annotations
 
+from .cdg import cdg_pass
+from .contracts import contract_pass
 from .diagnostics import AnalysisReport
 from .passes import dsr_pass, flow_pass, precision_pass, sram_pass, task_graph_pass
 from .routing import routing_pass
@@ -17,8 +19,12 @@ from ..fabric import Fabric
 __all__ = ["analyze_program", "ALL_PASSES"]
 
 #: Pass execution order.  Routing first (flow conservation skips channels
-#: whose forwarding graph is cyclic, deferring to the routing findings).
-ALL_PASSES = ("routing", "flow", "tasks", "dsr", "sram", "precision")
+#: whose forwarding graph is cyclic, deferring to the routing findings);
+#: cdg proves the credit graph acyclic; contract — which summarizes the
+#: traffic the earlier passes validated — runs last.
+ALL_PASSES = (
+    "routing", "flow", "tasks", "dsr", "sram", "precision", "cdg", "contract",
+)
 
 
 def _attached_cores(fabric: Fabric):
@@ -82,4 +88,15 @@ def analyze_program(
         report.notes.extend(notes)
     if "precision" in selected:
         report.diagnostics.extend(precision_pass(fabric, cores))
+    if "cdg" in selected:
+        report.diagnostics.extend(cdg_pass(fabric))
+    if "contract" in selected:
+        diags, notes, contract = contract_pass(fabric)
+        report.diagnostics.extend(diags)
+        report.notes.extend(notes)
+        report.contract = contract
+        # Attach deliberately: a later FabricDeadlockError names the
+        # statically-predicted CDG cycle, and runners can verify the
+        # engine against the contract without recomputing it.
+        fabric.static_contract = contract
     return report

@@ -1,0 +1,289 @@
+"""Static performance contracts: exact traffic and a cycle lower bound.
+
+Jacquelin et al.'s wafer-scale stencil work derives closed-form per-link
+communication volumes that measured runs must match; this module gives
+each of our wafer programs the same artifact.  From nothing but the
+routing tables and the cores' :class:`ProgramDecl` the contract pass
+computes, *before the first cycle*:
+
+* **Exact word counts** — every declared fabric transmit injects
+  ``FabricRef.length`` words at its tile's CORE port; the stream then
+  propagates through the (acyclic) forwarding DAG, duplicating at
+  fanout.  Per-router totals use the runtime's own accounting (one word
+  per delivered destination), so ``Router.words_moved`` must equal the
+  contract *exactly* — not approximately — after a run.
+* **A critical-path cycle lower bound** — the run can finish no sooner
+  than (a) any injected stream's last word reaching its farthest core
+  delivery (``length + depth - 1``: one word enters the network per
+  cycle and moves one hop per cycle), and (b) any core's busiest thread
+  slot finishing its declared instructions at its best possible rate
+  (``ceil(length / rate)`` each, where an undeclared rate conservatively
+  assumes the full SIMD width).  Both terms are sound under-estimates
+  by construction; :mod:`repro.wse.analyze.verify_contracts` measures
+  the actual slack.
+
+The result is a frozen, JSON-serializable :class:`StaticContract`.
+Channels whose forwarding graph is cyclic cannot carry exact counts
+(traffic never drains); their cycles are recorded in ``cdg_cycles`` and
+the CDG pass reports them as errors.  A contract attached to a fabric
+(``fabric.static_contract``) also feeds the runtime: a
+:class:`~repro.wse.fabric.FabricDeadlockError` names the predicted
+cycle instead of only the stuck coordinates.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+
+from .routing import cyclic_sccs, forwarding_graph, routes_by_channel
+from .spec import FabricRef
+from ..fabric import Port
+
+__all__ = ["StaticContract", "compute_contract", "contract_pass"]
+
+#: Assumed elements-per-cycle for instructions that declare no ``rate``
+#: and whose core exposes no SIMD width.  Must be >= any engine's actual
+#: per-cycle cap for the bound to stay a lower bound.
+_FALLBACK_RATE = 8
+
+
+@dataclass(frozen=True)
+class StaticContract:
+    """One program's statically-derived traffic and timing contract.
+
+    Attributes
+    ----------
+    total_words:
+        Exact fabric words moved per run, destination-counted exactly
+        like ``Fabric.total_words_moved``.
+    router_words:
+        ``(x, y, words)`` per router with nonzero traffic, sorted.
+    link_words:
+        ``(x, y, channel, out_port, words)`` per directed link (a
+        router's out port on one channel; ``C`` entries are core
+        deliveries), sorted.
+    cycle_lower_bound:
+        Provable minimum cycles for one run.
+    cdg_cycles:
+        Channel-dependency cycles found while propagating traffic, as
+        tuples of ``(x, y, channel, in_port)`` nodes.  Non-empty means
+        the word counts exclude the cyclic channels (and the CDG pass
+        reports errors).
+    """
+
+    total_words: int = 0
+    router_words: tuple = ()
+    link_words: tuple = ()
+    cycle_lower_bound: int = 0
+    cdg_cycles: tuple = ()
+
+    def router_words_map(self) -> dict:
+        """``(x, y) -> words`` as a dict."""
+        return {(x, y): w for x, y, w in self.router_words}
+
+    def link_words_map(self) -> dict:
+        """``(x, y, channel, out_port) -> words`` as a dict."""
+        return {(x, y, c, p): w for x, y, c, p, w in self.link_words}
+
+    # -- serialization -------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "total_words": self.total_words,
+            "router_words": [list(e) for e in self.router_words],
+            "link_words": [list(e) for e in self.link_words],
+            "cycle_lower_bound": self.cycle_lower_bound,
+            "cdg_cycles": [
+                [list(n) for n in cyc] for cyc in self.cdg_cycles
+            ],
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "StaticContract":
+        return cls(
+            total_words=int(d["total_words"]),
+            router_words=tuple(tuple(e) for e in d["router_words"]),
+            link_words=tuple(tuple(e) for e in d["link_words"]),
+            cycle_lower_bound=int(d["cycle_lower_bound"]),
+            cdg_cycles=tuple(
+                tuple(tuple(n) for n in cyc) for cyc in d["cdg_cycles"]
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "StaticContract":
+        return cls.from_dict(json.loads(text))
+
+
+def _declared_injections(fabric) -> dict:
+    """``channel -> {(x, y): words}`` from every core's ProgramDecl."""
+    inj: dict = {}
+    for y in range(fabric.height):
+        for x in range(fabric.width):
+            core = fabric.cores[y][x]
+            decl = getattr(core, "program_decl", None)
+            if not decl:
+                continue
+            for _task, instr in decl.instructions():
+                dst = instr.dst
+                if isinstance(dst, FabricRef) and dst.length > 0:
+                    per = inj.setdefault(dst.channel, {})
+                    per[(x, y)] = per.get((x, y), 0) + dst.length
+    return inj
+
+
+def _topo_order(graph: dict) -> list:
+    """Kahn topological order (callers guarantee ``graph`` is acyclic)."""
+    indeg = dict.fromkeys(graph, 0)
+    for succs in graph.values():
+        for s in succs:
+            indeg[s] += 1
+    ready = deque(sorted(n for n, d in indeg.items() if not d))
+    order = []
+    while ready:
+        node = ready.popleft()
+        order.append(node)
+        for s in graph[node]:
+            indeg[s] -= 1
+            if not indeg[s]:
+                ready.append(s)
+    return order
+
+
+def _delivery_depths(fabric, route_map: dict, graph: dict, order: list) -> dict:
+    """``node -> max move-cycles to a core delivery`` (None: unreachable)."""
+    depths: dict = {}
+    for node in reversed(order):
+        (x, y), _in_port = node
+        best = None
+        if Port.CORE in route_map[node] and fabric.cores[y][x] is not None:
+            best = 1
+        for s in graph[node]:
+            ds = depths.get(s)
+            if ds is not None and (best is None or ds + 1 > best):
+                best = ds + 1
+        depths[node] = best
+    return depths
+
+
+def compute_contract(fabric) -> StaticContract:
+    """Derive a :class:`StaticContract` from routes + declarations."""
+    chan_routes = routes_by_channel(fabric)
+    injections = _declared_injections(fabric)
+    router_words: dict = {}
+    link_words: dict = {}
+    cdg_cycles: list = []
+    stream_bound = 0
+
+    for channel in sorted(set(chan_routes) | set(injections)):
+        route_map = chan_routes.get(channel, {})
+        if not route_map:
+            continue
+        graph = forwarding_graph(fabric, route_map)
+        sccs = cyclic_sccs(graph)
+        if sccs:
+            from .cdg import extract_cycle
+
+            for scc in sccs:
+                cyc = extract_cycle(graph, scc)
+                cdg_cycles.append(
+                    tuple((pos[0], pos[1], channel, port) for pos, port in cyc)
+                )
+            continue
+        order = _topo_order(graph)
+        traffic = dict.fromkeys(route_map, 0)
+        for pos, words in injections.get(channel, {}).items():
+            node = (pos, Port.CORE)
+            if node in route_map:
+                traffic[node] += words
+        depths = _delivery_depths(fabric, route_map, graph, order)
+        for node in order:
+            t = traffic[node]
+            if not t:
+                continue
+            (x, y), _in_port = node
+            n_dests = 0
+            for out in route_map[node]:
+                if out == Port.CORE:
+                    if fabric.cores[y][x] is None:
+                        continue  # routing pass flags the missing core
+                else:
+                    nb = fabric.neighbor(x, y, out)
+                    if nb is None:
+                        continue  # routing pass flags the off-fabric out
+                n_dests += 1
+                key = (x, y, channel, out)
+                link_words[key] = link_words.get(key, 0) + t
+            for s in graph[node]:
+                traffic[s] += t
+            if n_dests:
+                coord = (x, y)
+                router_words[coord] = router_words.get(coord, 0) + t * n_dests
+        for pos, words in injections.get(channel, {}).items():
+            depth = depths.get((pos, Port.CORE))
+            if depth is not None and words:
+                stream_bound = max(stream_bound, words + depth - 1)
+
+    return StaticContract(
+        total_words=sum(router_words.values()),
+        router_words=tuple(
+            (x, y, w) for (x, y), w in sorted(router_words.items())
+        ),
+        link_words=tuple(
+            (x, y, c, p, w) for (x, y, c, p), w in sorted(link_words.items())
+        ),
+        cycle_lower_bound=max(stream_bound, _core_work_bound(fabric)),
+        cdg_cycles=tuple(cdg_cycles),
+    )
+
+
+def _core_work_bound(fabric) -> int:
+    """Max over (core, thread slot) of summed best-case instruction cycles."""
+    bound = 0
+    for y in range(fabric.height):
+        for x in range(fabric.width):
+            core = fabric.cores[y][x]
+            decl = getattr(core, "program_decl", None)
+            if not decl:
+                continue
+            simd = getattr(
+                getattr(core, "config", None), "simd_width_fp16", None
+            ) or _FALLBACK_RATE
+            slots: dict = {}
+            for _task, instr in decl.instructions():
+                length = instr.length
+                if not length:
+                    continue
+                rate = getattr(instr, "rate", 0) or simd
+                cost = -(-length // rate)
+                slot = instr.thread
+                slots[slot] = slots.get(slot, 0) + cost
+            if slots:
+                bound = max(bound, max(slots.values()))
+    return bound
+
+
+def contract_pass(fabric) -> tuple[list, list, StaticContract]:
+    """The analyzer-facing contract pass.
+
+    Returns ``(diagnostics, notes, contract)``.  The pass itself emits
+    no findings (the CDG pass owns cycle errors; the flow pass owns
+    supply mismatches) — its product is the contract, summarized in the
+    report's notes and attached to the fabric by the analyzer.
+    """
+    contract = compute_contract(fabric)
+    notes = [
+        f"contract: {contract.total_words} fabric word(s) over "
+        f"{len(contract.link_words)} link(s), cycle lower bound "
+        f"{contract.cycle_lower_bound}"
+    ]
+    if contract.cdg_cycles:
+        notes.append(
+            f"contract: word counts exclude {len(contract.cdg_cycles)} "
+            "cyclic channel(s) (see cdg findings)"
+        )
+    return [], notes, contract

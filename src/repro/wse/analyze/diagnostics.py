@@ -55,6 +55,11 @@ class Diagnostic:
         Virtual channel involved, when the finding concerns one.
     hint:
         A one-line suggestion for fixing the program.
+    data:
+        Optional machine-readable payload, as a (hashable) tuple — the
+        CDG pass stores the offending dependency cycle here so the
+        deadlock-counterexample machinery (and the runtime deadlock
+        message) can name it without re-parsing ``message``.
     """
 
     severity: Severity
@@ -64,6 +69,24 @@ class Diagnostic:
     where: tuple[int, int] | None = None
     channel: int | None = None
     hint: str = ""
+    data: tuple | None = None
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (the ``lint --json`` line schema).
+
+        Stable keys: ``severity``, ``pass``, ``kind``, ``message``,
+        ``where``, ``channel``, ``hint``, ``data``.
+        """
+        return {
+            "severity": self.severity.value,
+            "pass": self.pass_name,
+            "kind": self.kind,
+            "message": self.message,
+            "where": list(self.where) if self.where is not None else None,
+            "channel": self.channel,
+            "hint": self.hint,
+            "data": _jsonable(self.data),
+        }
 
     def __str__(self) -> str:
         loc = ""
@@ -75,6 +98,13 @@ class Diagnostic:
         if self.hint:
             out += f"  (hint: {self.hint})"
         return out
+
+
+def _jsonable(value):
+    """Recursively turn nested tuples into lists for JSON export."""
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value
 
 
 class AnalysisError(ValueError):
@@ -93,10 +123,14 @@ class AnalysisReport:
     ``notes`` carries advisory summary lines (e.g. the worst-tile SRAM
     occupancy) that are *not* findings — a clean program has zero
     diagnostics but usually a few notes.
+
+    ``contract`` is the :class:`repro.wse.analyze.contracts.StaticContract`
+    computed by the contract pass (None when that pass did not run).
     """
 
     diagnostics: list[Diagnostic] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    contract: object | None = None
 
     # ------------------------------------------------------------------
     @property

@@ -15,13 +15,17 @@ eager import here would be circular.
 
 from __future__ import annotations
 
+import argparse
+import json
+
 import numpy as np
 
 from .analyzer import analyze_program
-from .diagnostics import AnalysisReport
+from .diagnostics import AnalysisReport, Severity
 from ..fabric import Fabric
 
-__all__ = ["shipped_programs", "lint_reports", "lint_report_text", "lint_main"]
+__all__ = ["shipped_programs", "lint_reports", "lint_report_text",
+           "lint_json_lines", "lint_main"]
 
 
 def _build_spmv3d(shape, two_sum_tasks=False) -> Fabric:
@@ -63,6 +67,7 @@ def _build_dot(n) -> Fabric:
 
 
 def _build_allreduce(width, height) -> Fabric:
+    from .contracts import compute_contract
     from ..allreduce import ReduceCore, allreduce_pattern
     from ..patterns import compile_to_fabric
 
@@ -71,6 +76,8 @@ def _build_allreduce(width, height) -> Fabric:
     for y in range(height):
         for x in range(width):
             fabric.attach_core(x, y, ReduceCore(x, y, width, height, 1.0))
+    # Mirror AllReduceEngine: every shipped program carries its contract.
+    fabric.static_contract = compute_contract(fabric)
     return fabric
 
 
@@ -106,8 +113,45 @@ def lint_report_text() -> str:
     return "\n".join(lines)
 
 
-def lint_main() -> int:
-    """CLI entry: print the report; exit status 0 clean / 1 dirty."""
+def lint_json_lines() -> tuple[list[str], bool]:
+    """Machine-readable lint: one JSON object per diagnostic.
+
+    Each line is a :meth:`Diagnostic.as_dict` payload (stable keys:
+    ``severity``, ``pass``, ``kind``, ``message``, ``where``,
+    ``channel``, ``hint``, ``data``) plus a ``program`` key naming the
+    shipped program it came from.  Returns ``(lines, any_error)``.
+    """
+    lines = []
+    any_error = False
+    for name, report in lint_reports():
+        for diag in report.diagnostics:
+            payload = diag.as_dict()
+            payload["program"] = name
+            lines.append(json.dumps(payload, sort_keys=True))
+            any_error |= diag.severity is Severity.ERROR
+    return lines, any_error
+
+
+def lint_main(argv: list[str] | None = None) -> int:
+    """CLI entry: print the report; exit status 0 clean / 1 dirty.
+
+    With ``--json``, emit one JSON diagnostic object per line (nothing
+    else on stdout) and exit non-zero iff any diagnostic is an error.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Statically analyze every shipped wafer program.",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="one JSON diagnostic object per line; exit 1 on any error",
+    )
+    args = parser.parse_args(argv if argv is not None else [])
+    if args.json:
+        lines, any_error = lint_json_lines()
+        for line in lines:
+            print(line)
+        return 1 if any_error else 0
     text = lint_report_text()
     print(text)
     return 0 if text.endswith("LINT OK") else 1

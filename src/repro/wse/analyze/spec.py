@@ -38,6 +38,7 @@ __all__ = [
     "ScalarRef",
     "FabricRef",
     "FifoRef",
+    "FifoSpec",
     "InstrDecl",
     "TaskDecl",
     "ProgramDecl",
@@ -87,6 +88,20 @@ class FifoRef:
 
 
 @dataclass(frozen=True)
+class FifoSpec:
+    """A hardware FIFO's static credit description.
+
+    :meth:`repro.wse.fifo.HardwareFifo.spec` freezes the runtime object
+    into this shape so analysis passes reason about capacities (credits)
+    without holding live simulator state.
+    """
+
+    name: str
+    capacity: int
+    activates: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
 class InstrDecl:
     """One planned vector instruction.
 
@@ -94,6 +109,12 @@ class InstrDecl:
     slot index, or None for the synchronous main queue.  ``completions``
     is a tuple of ``(task_name, Action)`` pairs fired when the
     instruction finishes.
+
+    ``rate`` is the declared elements-per-cycle cap, mirroring the
+    runtime :class:`repro.wse.dsr.Instruction` ``rate`` field (the mixed
+    dot sustains 2 FMAC/cycle, the fp16 SIMD unit 4).  ``0`` means
+    undeclared; the contract pass then assumes the core's full SIMD
+    width, which keeps the derived cycle bound a true lower bound.
     """
 
     op: str
@@ -103,6 +124,7 @@ class InstrDecl:
     thread: int | None = None
     completions: tuple[tuple[str, Action], ...] = ()
     name: str = ""
+    rate: int = 0
 
 
 @dataclass(frozen=True)

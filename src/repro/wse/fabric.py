@@ -279,6 +279,16 @@ class Fabric:
         #: Engine selector: "active" (default) or "reference".
         self.engine = "active"
         self.stats = FabricStats()
+        #: Optional :class:`repro.wse.analyze.contracts.StaticContract`
+        #: attached by the analyzer's contract pass.  The runtime only
+        #: reads it to *name* the statically-predicted channel-dependency
+        #: cycle when diagnosing a :class:`FabricDeadlockError`.
+        self.static_contract = None
+        #: True when the most recent network phase 0 pulled at least one
+        #: egress word out of a core (i.e. injection made progress).
+        #: Together with words/elements/awake-set emptiness this lets
+        #: :meth:`run` prove a cycle was a *permanent* fixpoint.
+        self._pulled = False
         #: Observability hook (``repro.obs.FabricObserver`` protocol):
         #: ``on_cycle(fabric, words, elements)`` per stepped cycle,
         #: ``on_skip(n)`` per fast-forwarded span.  The hot path pays a
@@ -365,6 +375,24 @@ class Fabric:
     # ------------------------------------------------------------------
     # Observability accessors (the public face of the active sets)
     # ------------------------------------------------------------------
+    def credit_map(self) -> dict[tuple[int, int, int, str], int]:
+        """Static credit capacities: ``(x, y, channel, in_port) -> words``.
+
+        One entry per configured route key.  Each key names a bounded
+        router FIFO whose free slots are the credits an upstream hop
+        must hold before forwarding into it — exactly the resources the
+        Dally–Seitz channel-dependency-graph pass
+        (:func:`repro.wse.analyze.cdg.cdg_pass`) builds its nodes from.
+        """
+        out: dict[tuple[int, int, int, str], int] = {}
+        for y in range(self.height):
+            for x in range(self.width):
+                router = self.routers[y][x]
+                cap = router.queue_capacity
+                for channel, in_port in router.routes:
+                    out[(x, y, channel, in_port)] = cap
+        return out
+
     def active_routers(self) -> list[Router]:
         """Routers that may hold queued words this cycle.
 
@@ -508,6 +536,7 @@ class Fabric:
         active_routers = self._active_routers
         awake = self._awake_cores
         tx_cores = self._tx_cores
+        self._pulled = False
 
         # Phase 0: pull core injections into the router CORE-port queues.
         if tx_cores or awake:
@@ -554,6 +583,7 @@ class Fabric:
                     if pulled:
                         # Egress space freed: a core stalled on TX
                         # back-pressure may now proceed.
+                        self._pulled = True
                         awake.add(coord)
                         stalled.discard(coord)
                     if not pending:
@@ -580,6 +610,7 @@ class Fabric:
                             pulled = True
                 active_routers.add(coord)
                 if pulled:
+                    self._pulled = True
                     awake.add(coord)
                     stalled.discard(coord)
                 if not core.tx_channels():
@@ -828,6 +859,7 @@ class Fabric:
     def _step_network_reference(self) -> int:
         """Reference network cycle (full sweep, no binding cache)."""
         # Phase 0: pull core injections into the router CORE-port queues.
+        self._pulled = False
         for y in range(self.height):
             for x in range(self.width):
                 core = self.cores[y][x]
@@ -840,6 +872,7 @@ class Fabric:
                         v = core.poll_tx(channel)
                         if v is not None:
                             q.append(v)
+                            self._pulled = True
                             self._active_routers.add((y, x))
 
         # Phase 1: stage moves based on cycle-start queue contents.
@@ -948,16 +981,48 @@ class Fabric:
                 return False
         return True
 
+    def _cdg_note(self) -> str:
+        """Name the statically-predicted CDG cycle(s), when the program's
+        attached :class:`StaticContract` carried any."""
+        cycles = getattr(self.static_contract, "cdg_cycles", None)
+        if not cycles:
+            return ""
+        from .analyze.cdg import format_cdg_cycle
+
+        shown = "; ".join(format_cdg_cycle(c) for c in cycles[:2])
+        more = "" if len(cycles) <= 2 else f" (+{len(cycles) - 2} more)"
+        return (
+            " — static analysis predicted this: channel dependency "
+            f"cycle {shown}{more}"
+        )
+
     def _diagnose_deadlock(self, until_given: bool) -> str:
+        queued = 0
+        for coord in self._active_routers:
+            queued += self.routers[coord[0]][coord[1]].occupancy()
+        stalled_part = ""
         if self._stalled_cores:
             coords = sorted(self._stalled_cores)
             shown = ", ".join(f"({x},{y})" for y, x in coords[:8])
             more = "" if len(coords) <= 8 else f" (+{len(coords) - 8} more)"
+            stalled_part = (
+                f"cores {shown}{more} hold stalled instructions that no "
+                "event can unstall (missing sender, or a completion/"
+                "activation that never fires?)"
+            )
+        if queued:
+            return (
+                f"fabric deadlocked at cycle {self.cycle}: {queued} word(s) "
+                "wedged in router queues with every forward hop blocked on "
+                "a full destination FIFO (a credit cycle: each hop waits "
+                "for space the next hop can never free)"
+                + (f"; {stalled_part}" if stalled_part else "")
+                + self._cdg_note()
+            )
+        if stalled_part:
             return (
                 f"fabric deadlocked at cycle {self.cycle}: no words in "
-                f"flight, but cores {shown}{more} hold stalled instructions "
-                "that no event can unstall (missing sender, or a "
-                "completion/activation that never fires?)"
+                f"flight, but {stalled_part}" + self._cdg_note()
             )
         tail = (
             "the until(...) predicate is still false"
@@ -986,19 +1051,36 @@ class Fabric:
         """
         step = self.step
         for _ in range(max_cycles):
-            step()
+            r = step()
             if on_cycle is not None:
                 on_cycle(self)
+            # A cycle in which no word moved, no element was processed,
+            # no egress word was pulled, and every core is asleep is a
+            # *permanent* fixpoint: staging decisions depend only on
+            # queue state (unchanged), and nothing can wake a sleeping
+            # core but a delivery or a drained egress (none happened).
+            # This is how a full credit ring — whose queues keep the
+            # active sets non-empty forever — is caught in one cycle.
+            wedged = (
+                not r["words_moved"]
+                and not r["elements"]
+                and not self._pulled
+                and not self._awake_cores
+            )
             if until is not None:
                 if until(self):
                     return self.cycle
                 if not self._active_routers and not self._tx_cores:
                     if not self._awake_cores or self.quiescent():
                         raise FabricDeadlockError(self._diagnose_deadlock(True))
+                elif wedged and not self.quiescent():
+                    raise FabricDeadlockError(self._diagnose_deadlock(True))
             elif self.quiescent():
                 return self.cycle
             elif not self._active_routers and not self._tx_cores \
                     and not self._awake_cores:
+                raise FabricDeadlockError(self._diagnose_deadlock(False))
+            elif wedged:
                 raise FabricDeadlockError(self._diagnose_deadlock(False))
         raise RuntimeError(
             f"fabric did not quiesce within {max_cycles} cycles "

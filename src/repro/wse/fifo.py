@@ -44,6 +44,19 @@ class HardwareFifo:
         self.total_pushed = 0
         self.high_water = 0
 
+    def spec(self):
+        """Freeze this FIFO's credit description for the analyzer.
+
+        Returns a :class:`repro.wse.analyze.spec.FifoSpec` — name,
+        capacity (the credit budget producers block on), and the task
+        the push callback activates.  Analysis passes read this instead
+        of poking at live simulator attributes.
+        """
+        from .analyze.spec import FifoSpec
+
+        activates = (self.activates,) if self.activates else ()
+        return FifoSpec(self.name, self.capacity, activates)
+
     @property
     def empty(self) -> bool:
         return not self._buf

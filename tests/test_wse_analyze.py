@@ -543,3 +543,192 @@ class TestBuilderWiring:
         op, _b, _d = Stencil7.from_random((2, 2, 4)).jacobi_precondition()
         solver = DESBiCGStab(op, analyze=True)
         assert solver.report.total_cycles == 0  # probe build ran no cycles
+
+
+# ----------------------------------------------------------------------
+# Pass 7: channel dependency graph (deadlock freedom)
+# ----------------------------------------------------------------------
+class TestCdgPass:
+    def _credit_ring(self):
+        """Two routers forwarding channel 7 at each other forever."""
+        f = _fabric_with_cores(2, 1)
+        f.router(0, 0).set_route(7, Port.EAST, (Port.EAST,))
+        f.router(1, 0).set_route(7, Port.WEST, (Port.WEST,))
+        return f
+
+    def test_credit_cycle_detected(self):
+        f = self._credit_ring()
+        report = analyze_program(f, passes=("cdg",))
+        assert len(report) == 1
+        (d,) = report
+        assert (d.pass_name, d.kind) == ("cdg", "credit-cycle")
+        assert d.severity is Severity.ERROR
+        assert d.channel == 7
+        # The finding carries the machine-readable cycle.
+        assert d.data is not None and len(d.data) == 2
+        assert all(node[2] == 7 for node in d.data)
+
+    def test_acyclic_program_clean(self):
+        f = _fabric_with_cores(3, 1)
+        f.router(0, 0).set_route(7, Port.CORE, (Port.EAST,))
+        f.router(1, 0).set_route(7, Port.WEST, (Port.EAST,))
+        f.router(2, 0).set_route(7, Port.WEST, (Port.CORE,))
+        assert analyze_program(f, passes=("cdg",)).ok
+
+    def test_fanout_is_and_dependency(self):
+        """A multicast hop depends on *every* destination FIFO, so a
+        cycle through one fanout leg is still a cycle."""
+        f = _fabric_with_cores(3, 1)
+        # (1,0) forwards WEST arrivals both to its core and back WEST.
+        f.router(0, 0).set_route(7, Port.EAST, (Port.EAST,))
+        f.router(1, 0).set_route(7, Port.WEST, (Port.WEST, Port.CORE))
+        report = analyze_program(f, passes=("cdg",))
+        assert [d.kind for d in report] == ["credit-cycle"]
+
+    @pytest.mark.parametrize("engine", ["active", "reference"])
+    def test_counterexample_deadlocks_engine(self, engine):
+        """The static finding is machine-checked: a minimal fabric
+        synthesized from the cycle provably wedges the DES engine, and
+        the raised error names the predicted cycle."""
+        from repro.wse import FabricDeadlockError
+        from repro.wse.analyze import (
+            confirm_counterexample,
+            synthesize_counterexample,
+        )
+
+        f = self._credit_ring()
+        (d,) = analyze_program(f, passes=("cdg",))
+        ce = synthesize_counterexample(f, d.data)
+        err = confirm_counterexample(ce, engine=engine)
+        assert isinstance(err, FabricDeadlockError)
+        msg = str(err)
+        assert "credit" in msg
+        assert "ch7" in msg  # the contract's CDG cycle, named in the error
+        assert ce.cycle > 0  # it genuinely ran before wedging
+
+    def test_counterexample_contract_records_cycle(self):
+        from repro.wse.analyze import synthesize_counterexample
+
+        f = self._credit_ring()
+        (d,) = analyze_program(f, passes=("cdg",))
+        ce = synthesize_counterexample(f, d.data)
+        assert ce.static_contract is not None
+        assert len(ce.static_contract.cdg_cycles) == 1
+
+    def test_shipped_programs_cdg_clean(self):
+        from repro.wse.analyze.lint import shipped_programs
+        from repro.wse.analyze import cdg_pass
+
+        for name, fabric in shipped_programs():
+            assert not cdg_pass(fabric), name
+
+
+# ----------------------------------------------------------------------
+# Pass 8: static contracts (and their dynamic verification)
+# ----------------------------------------------------------------------
+class TestContractDefects:
+    def _off_by_one_program(self):
+        """A runnable 2-tile stream whose declarations are internally
+        consistent but off by one versus the actual program: declared 5
+        words on channel 5, the instructions move 4.  Static-only passes
+        cannot see this; holding the contract against the engine can."""
+        from repro.wse.dsr import FabricRx, FabricTx, Instruction, MemCursor
+
+        f = _fabric_with_cores(2, 1)
+        a, b = f.core(0, 0), f.core(1, 0)
+        f.router(0, 0).set_route(5, Port.CORE, (Port.EAST,))
+        f.router(1, 0).set_route(5, Port.WEST, (Port.CORE,))
+        src = a.memory.store("src", np.arange(4, dtype=np.float16))
+        dst = b.memory.alloc("dst", 5, np.float16)
+        q = b.subscribe(5)
+        a.launch(Instruction(
+            op="copy", dst=FabricTx(a, 4, 5, name="tx"),
+            srcs=[MemCursor(src, 0, 4, name="src")], length=4, name="send",
+        ), thread=0)
+        rx = Instruction(
+            op="copy", dst=MemCursor(dst, 0, 4, name="dst"),
+            srcs=[FabricRx(q, 4, 5, name="rx")], length=4, name="recv",
+        )
+        b.launch(rx, thread=0)
+        a.program_decl.launched(InstrDecl(
+            "copy", FabricRef(5, 5), (MemRef("src", 0, 4),),
+            length=4, thread=0, name="send",
+        ))
+        b.program_decl.launched(InstrDecl(
+            "copy", MemRef("dst", 0, 5), (FabricRef(5, 5),),
+            length=4, thread=0, name="recv",
+        ))
+        return f, rx
+
+    def test_off_by_one_declared_words_fails_verification(self):
+        from repro.obs import ObsSession
+        from repro.wse.analyze import compute_contract
+        from repro.wse.analyze.verify_contracts import _check_fabric
+
+        f, rx = self._off_by_one_program()
+        contract = compute_contract(f)
+        assert contract.total_words == 10  # the (wrong) declared 5 x 2 routers
+        session = ObsSession()
+        session.observe_fabric("seeded", f)
+        f.run(max_cycles=1_000)
+        assert rx.finished
+        check = _check_fabric(
+            "seeded-off-by-one", f, contract, session, "seeded",
+            runs=1, observed_cycles=f.cycle,
+            bound=contract.cycle_lower_bound,
+        )
+        assert not check.words_ok
+        assert check.observed_words == 8  # what the engine actually moved
+        assert len(check.router_mismatches) == 2  # both routers named
+        assert not check.ok and "FAIL" in check.summary()
+
+    def test_correct_declaration_verifies_exactly(self):
+        """The same program with honest declarations passes: exact
+        per-router agreement, registry agreement, bound satisfied."""
+        from repro.obs import ObsSession
+        from repro.wse.analyze import compute_contract
+        from repro.wse.analyze.verify_contracts import _check_fabric
+        from repro.wse.dsr import FabricRx, FabricTx, Instruction, MemCursor
+
+        f = _fabric_with_cores(2, 1)
+        a, b = f.core(0, 0), f.core(1, 0)
+        f.router(0, 0).set_route(5, Port.CORE, (Port.EAST,))
+        f.router(1, 0).set_route(5, Port.WEST, (Port.CORE,))
+        src = a.memory.store("src", np.arange(4, dtype=np.float16))
+        dst = b.memory.alloc("dst", 4, np.float16)
+        q = b.subscribe(5)
+        a.launch(Instruction(
+            op="copy", dst=FabricTx(a, 4, 5, name="tx"),
+            srcs=[MemCursor(src, 0, 4, name="src")], length=4, name="send",
+        ), thread=0)
+        b.launch(Instruction(
+            op="copy", dst=MemCursor(dst, 0, 4, name="dst"),
+            srcs=[FabricRx(q, 4, 5, name="rx")], length=4, name="recv",
+        ), thread=0)
+        a.program_decl.launched(InstrDecl(
+            "copy", FabricRef(5, 4), (MemRef("src", 0, 4),),
+            length=4, thread=0, name="send",
+        ))
+        b.program_decl.launched(InstrDecl(
+            "copy", MemRef("dst", 0, 4), (FabricRef(5, 4),),
+            length=4, thread=0, name="recv",
+        ))
+        contract = compute_contract(f)
+        session = ObsSession()
+        session.observe_fabric("ok", f)
+        f.run(max_cycles=1_000)
+        check = _check_fabric(
+            "honest", f, contract, session, "ok", runs=1,
+            observed_cycles=f.cycle, bound=contract.cycle_lower_bound,
+        )
+        assert check.ok, check.summary()
+        assert check.slack >= 0
+
+    def test_shipped_programs_carry_contracts(self):
+        from repro.wse.analyze.lint import shipped_programs
+
+        for name, fabric in shipped_programs():
+            contract = fabric.static_contract
+            assert contract is not None, name
+            assert not contract.cdg_cycles, name
+            assert contract.cycle_lower_bound > 0, name
