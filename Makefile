@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test lint verify-contracts check trace bench bench-smoke bench-verbose examples report all clean
+.PHONY: install test lint verify-contracts sanitize check trace bench bench-smoke bench-verbose examples report all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -23,9 +23,15 @@ lint:
 verify-contracts:
 	PYTHONPATH=src python -m repro verify-contracts
 
+# Race-sanitized runs: every shipped program twice (plain vs sanitizer
+# attached), checked race-free and bit-identical at the byte level.
+sanitize:
+	PYTHONPATH=src python -m repro sanitize
+
 # The pre-PR gate: static analysis, contract verification against the
-# engine, then the tier-1 test suite.  Run before every PR.
-check: lint verify-contracts
+# engine, race-sanitized runs, then the tier-1 test suite.  Run before
+# every PR.
+check: lint verify-contracts sanitize
 	PYTHONPATH=src python -m pytest -x -q
 
 # Observed DES solve: per-phase cycle table + iteration telemetry on
@@ -39,10 +45,12 @@ trace:
 # fabric size) and fails on any engine-equivalence mismatch.  Drop
 # --quick for the full 48x48 headline measurement.  The second step
 # measures the observability layer's overhead (tracer off vs on) into
-# BENCH_obs.json and fails if the detached hot path regresses >5%.
+# BENCH_obs.json and fails if the detached hot path regresses >5%.  The
+# third step times every static-analysis pass (BENCH_analyze.json).
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_des_engine.py --quick
 	PYTHONPATH=src python benchmarks/bench_obs_overhead.py --quick
+	PYTHONPATH=src python benchmarks/bench_analyze.py --quick
 
 bench:
 	pytest benchmarks/ --benchmark-only -q

@@ -1,0 +1,152 @@
+"""Static-analyzer cost benchmark: every pass on the big fabrics.
+
+The analyzer runs on every ``analyze=True`` build and inside ``make
+check``, so its cost must stay far below a simulated run and must not
+blow up as fabrics grow.  This benchmark times each of the nine passes
+(routing, flow, tasks, dsr, races, sram, precision, cdg, contract)
+individually, plus one full ``analyze_program`` sweep, on the two
+largest shipped program shapes:
+
+* the paper's headline 48x48 problem under the 2D block mapping
+  (16x16 = 256 tiles, 9-leg stencil program on every tile), and
+* a 512-tile (32x16 mesh) 3D SpMV mapping.
+
+Writes ``BENCH_analyze.json`` with per-pass wall seconds and fails if
+any program analyzes dirty (the passes must stay free of false
+positives at scale).  Run directly
+(``python benchmarks/bench_analyze.py``) or via ``make bench-smoke``;
+``--quick`` shrinks both meshes for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.wse.analyze import analyze_program
+from repro.wse.analyze.analyzer import ALL_PASSES
+
+SPMV2D_SHAPE = (48, 48)
+SPMV2D_BLOCK = (3, 3)
+SPMV3D_SHAPE = (32, 16, 2)
+
+QUICK_SPMV2D_SHAPE = (12, 12)
+QUICK_SPMV2D_BLOCK = (3, 3)
+QUICK_SPMV3D_SHAPE = (8, 8, 4)
+
+
+def _build_spmv2d(shape, block_shape):
+    from repro.kernels.spmv2d_des import build_spmv2d_fabric
+    from repro.problems.stencil9 import Stencil9
+
+    op, _b, _dinv = Stencil9.from_random(shape).jacobi_precondition()
+    fabric, _programs = build_spmv2d_fabric(
+        op, np.zeros(op.shape), block_shape
+    )
+    return fabric
+
+
+def _build_spmv3d(shape):
+    from repro.kernels.spmv3d import build_spmv_fabric
+    from repro.problems.stencil7 import Stencil7
+
+    op, _b, _dinv = Stencil7.from_random(shape).jacobi_precondition()
+    fabric, _programs = build_spmv_fabric(op, np.zeros(op.shape))
+    return fabric
+
+
+def _count_instructions(fabric) -> int:
+    n = 0
+    for y in range(fabric.height):
+        for x in range(fabric.width):
+            core = fabric.core(x, y)
+            decl = getattr(core, "program_decl", None)
+            if decl is not None:
+                n += sum(1 for _ in decl.instructions())
+    return n
+
+
+def _measure(name: str, builder) -> dict:
+    t0 = time.perf_counter()
+    fabric = builder()
+    build_seconds = time.perf_counter() - t0
+
+    per_pass = {}
+    diagnostics = 0
+    for pass_name in ALL_PASSES:
+        t0 = time.perf_counter()
+        report = analyze_program(fabric, passes=(pass_name,))
+        per_pass[pass_name] = round(time.perf_counter() - t0, 4)
+        diagnostics += len(report)
+
+    t0 = time.perf_counter()
+    full = analyze_program(fabric)
+    full_seconds = time.perf_counter() - t0
+
+    return {
+        "program": name,
+        "tiles": fabric.width * fabric.height,
+        "declared_instructions": _count_instructions(fabric),
+        "build_seconds": round(build_seconds, 4),
+        "pass_seconds": per_pass,
+        "all_passes_seconds": round(full_seconds, 4),
+        "diagnostics": diagnostics + len(full),
+        "clean": full.ok and diagnostics == 0,
+    }
+
+
+def run(quick: bool = False,
+        out_path: str | Path = "BENCH_analyze.json") -> dict:
+    shape2d = QUICK_SPMV2D_SHAPE if quick else SPMV2D_SHAPE
+    block2d = QUICK_SPMV2D_BLOCK if quick else SPMV2D_BLOCK
+    shape3d = QUICK_SPMV3D_SHAPE if quick else SPMV3D_SHAPE
+
+    programs = [
+        _measure(
+            f"spmv2d-{shape2d[0]}x{shape2d[1]}-b{block2d[0]}x{block2d[1]}",
+            lambda: _build_spmv2d(shape2d, block2d),
+        ),
+        _measure(
+            f"spmv3d-{shape3d[0]}x{shape3d[1]}x{shape3d[2]}",
+            lambda: _build_spmv3d(shape3d),
+        ),
+    ]
+    result = {
+        "benchmark": "analyze_cost",
+        "quick": quick,
+        "passes": list(ALL_PASSES),
+        "programs": programs,
+    }
+    Path(out_path).write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small meshes for smoke runs")
+    ap.add_argument("--out", default="BENCH_analyze.json")
+    args = ap.parse_args(argv)
+    result = run(quick=args.quick, out_path=args.out)
+    print(json.dumps(result, indent=2))
+    dirty = [p["program"] for p in result["programs"] if not p["clean"]]
+    if dirty:
+        print(f"ANALYSIS NOT CLEAN on: {', '.join(dirty)}")
+        return 1
+    for p in result["programs"]:
+        slowest = max(p["pass_seconds"], key=p["pass_seconds"].get)
+        print(
+            f"{p['program']}: {p['tiles']} tiles, "
+            f"{p['declared_instructions']} declared instructions, "
+            f"all passes in {p['all_passes_seconds']}s "
+            f"(slowest pass: {slowest} {p['pass_seconds'][slowest]}s)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

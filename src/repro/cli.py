@@ -31,7 +31,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="list",
         help=(
             "report name, 'list', 'all', 'lint', 'verify-contracts', "
-            "'trace', or 'write-report' (default: list)"
+            "'sanitize', 'trace', or 'write-report' (default: list)"
         ),
     )
     parser.add_argument(
@@ -70,6 +70,11 @@ def main(argv: list[str] | None = None) -> int:
         from .wse.analyze.verify_contracts import verify_main
 
         return verify_main(argv[1:])
+    if argv and argv[0] == "sanitize":
+        # `sanitize` owns --engine; same early dispatch.
+        from .wse.analyze.sanitize import sanitize_main
+
+        return sanitize_main(argv[1:])
     args = build_parser().parse_args(argv)
     name = args.report
     if name == "list":

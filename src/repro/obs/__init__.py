@@ -19,7 +19,7 @@ granularity:
 * :mod:`~repro.obs.report` — the Figure 4-style phase table, per-tile
   utilization heatmaps (.npy/CSV), iteration telemetry;
 * :mod:`~repro.obs.trace` — the folded-in ``FabricTrace`` /
-  ``trace_run`` recorder (``repro.wse.stats``'s deprecation target).
+  ``trace_run`` recorder (formerly ``repro.wse.stats``).
 
 Entry points: ``python -m repro trace`` and ``make trace``; docs in
 ``docs/observability.md``.

@@ -1,6 +1,6 @@
 """Lightweight words/occupancy tracing (the pre-obs ``FabricTrace``).
 
-This is the original :mod:`repro.wse.stats` recorder, folded into the
+This is the original ``repro.wse.stats`` recorder, folded into the
 observability layer and rebuilt on the PR 2 active-set engine's public
 surface:
 
@@ -13,8 +13,9 @@ surface:
   ``on_cycle`` observer hook rather than a duplicated copy of the run
   loop reaching into private engine fields.
 
-``repro.wse.stats`` re-exports both names as a deprecation shim.  New
-code wanting phase spans, metrics, and Chrome-trace export should use
+Both names are re-exported from :mod:`repro.obs` and :mod:`repro.wse`
+(the retired ``repro.wse.stats`` shim is gone).  New code wanting phase
+spans, metrics, and Chrome-trace export should use
 :class:`repro.obs.ObsSession` instead.
 """
 

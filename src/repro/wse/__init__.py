@@ -31,6 +31,7 @@ from .dsr import (
 from .fifo import HardwareFifo
 from .task import Task, TaskScheduler
 from .core import Core
+from .sanitizer import FabricRaceError, RaceSanitizer
 from .fabric import Fabric, FabricDeadlockError, FabricStats, Port, Router
 from .channels import (
     N_SPMV_CHANNELS,
@@ -93,6 +94,8 @@ __all__ = [
     "Task",
     "TaskScheduler",
     "Core",
+    "FabricRaceError",
+    "RaceSanitizer",
     "Fabric",
     "FabricDeadlockError",
     "FabricStats",

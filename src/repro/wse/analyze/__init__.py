@@ -42,7 +42,15 @@ from .passes import (
     flow_pass,
     precision_pass,
     sram_pass,
+    strided_overlap_witness,
     task_graph_pass,
+)
+from .races import (
+    HBGraph,
+    build_hb_graph,
+    confirm_race,
+    races_pass,
+    synthesize_race_program,
 )
 from .routing import cyclic_sccs, forwarding_graph, routes_by_channel, routing_pass
 from .spec import (
@@ -68,6 +76,12 @@ __all__ = [
     "flow_pass",
     "task_graph_pass",
     "dsr_pass",
+    "strided_overlap_witness",
+    "races_pass",
+    "HBGraph",
+    "build_hb_graph",
+    "synthesize_race_program",
+    "confirm_race",
     "sram_pass",
     "precision_pass",
     "cdg_pass",

@@ -13,6 +13,7 @@ from .cdg import cdg_pass
 from .contracts import contract_pass
 from .diagnostics import AnalysisReport
 from .passes import dsr_pass, flow_pass, precision_pass, sram_pass, task_graph_pass
+from .races import races_pass
 from .routing import routing_pass
 from ..fabric import Fabric
 
@@ -23,7 +24,8 @@ __all__ = ["analyze_program", "ALL_PASSES"]
 #: cdg proves the credit graph acyclic; contract — which summarizes the
 #: traffic the earlier passes validated — runs last.
 ALL_PASSES = (
-    "routing", "flow", "tasks", "dsr", "sram", "precision", "cdg", "contract",
+    "routing", "flow", "tasks", "dsr", "races", "sram", "precision", "cdg",
+    "contract",
 )
 
 
@@ -82,6 +84,8 @@ def analyze_program(
         report.diagnostics.extend(task_graph_pass(fabric, cores))
     if "dsr" in selected:
         report.diagnostics.extend(dsr_pass(fabric, cores))
+    if "races" in selected:
+        report.diagnostics.extend(races_pass(fabric, cores))
     if "sram" in selected:
         diags, notes = sram_pass(fabric, cores, budget=sram_budget)
         report.diagnostics.extend(diags)

@@ -13,7 +13,14 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-__all__ = ["Severity", "Diagnostic", "AnalysisReport", "AnalysisError"]
+__all__ = ["SCHEMA_VERSION", "Severity", "Diagnostic", "AnalysisReport",
+           "AnalysisError"]
+
+#: Version of the ``lint --json`` diagnostic line schema (the dict shape
+#: :meth:`Diagnostic.as_dict` emits).  Bump on any key rename/removal or
+#: ``data`` payload layout change; see ``docs/static_analysis.md`` for
+#: the per-version schema.
+SCHEMA_VERSION = 1
 
 
 class Severity(enum.Enum):
@@ -74,10 +81,13 @@ class Diagnostic:
     def as_dict(self) -> dict:
         """JSON-serializable form (the ``lint --json`` line schema).
 
-        Stable keys: ``severity``, ``pass``, ``kind``, ``message``,
-        ``where``, ``channel``, ``hint``, ``data``.
+        Stable keys: ``schema_version``, ``severity``, ``pass``,
+        ``kind``, ``message``, ``where``, ``channel``, ``hint``,
+        ``data``.  The schema (including per-pass ``data`` payloads) is
+        documented in ``docs/static_analysis.md``.
         """
         return {
+            "schema_version": SCHEMA_VERSION,
             "severity": self.severity.value,
             "pass": self.pass_name,
             "kind": self.kind,

@@ -117,9 +117,11 @@ def lint_json_lines() -> tuple[list[str], bool]:
     """Machine-readable lint: one JSON object per diagnostic.
 
     Each line is a :meth:`Diagnostic.as_dict` payload (stable keys:
-    ``severity``, ``pass``, ``kind``, ``message``, ``where``,
-    ``channel``, ``hint``, ``data``) plus a ``program`` key naming the
-    shipped program it came from.  Returns ``(lines, any_error)``.
+    ``schema_version``, ``severity``, ``pass``, ``kind``, ``message``,
+    ``where``, ``channel``, ``hint``, ``data``) plus a ``program`` key
+    naming the shipped program it came from; the full schema, including
+    the per-pass ``data`` payloads, is documented in
+    ``docs/static_analysis.md``.  Returns ``(lines, any_error)``.
     """
     lines = []
     any_error = False

@@ -16,6 +16,8 @@ section VI mixed-precision hazard.
 
 from __future__ import annotations
 
+from math import gcd
+
 import numpy as np
 
 from .diagnostics import Diagnostic, Severity
@@ -30,11 +32,8 @@ __all__ = [
     "dsr_pass",
     "sram_pass",
     "precision_pass",
+    "strided_overlap_witness",
 ]
-
-#: Don't enumerate descriptor index sets beyond this many elements (the
-#: race lint falls back to a conservative envelope check above it).
-_MAX_EXACT_INDICES = 65536
 
 
 def _decl_of(core) -> ProgramDecl | None:
@@ -352,31 +351,68 @@ def task_graph_pass(fabric: Fabric, cores) -> list[Diagnostic]:
 # ----------------------------------------------------------------------
 # DSR memory safety
 # ----------------------------------------------------------------------
-def _mem_indices(ref: MemRef):
-    """Index set of a MemRef, or an (lo, hi) envelope for huge extents."""
-    if ref.length <= _MAX_EXACT_INDICES:
-        return set(ref.indices())
+def _normalize_ap(ref: MemRef):
+    """A MemRef's footprint as ``(lo, hi, step)``: the index set is
+    exactly ``{lo, lo+step, ..., hi}``.  None for empty descriptors."""
+    if ref.length <= 0:
+        return None
+    if ref.length == 1 or ref.stride == 0:
+        return (ref.offset, ref.offset, 1)
     last = ref.offset + (ref.length - 1) * ref.stride
-    return (min(ref.offset, last), max(ref.offset, last))
+    return (min(ref.offset, last), max(ref.offset, last), abs(ref.stride))
 
 
-def _ranges_overlap(a, b) -> bool:
-    if isinstance(a, set) and isinstance(b, set):
-        return bool(a & b)
-    lo_a, hi_a = (min(a), max(a)) if isinstance(a, set) else a
-    lo_b, hi_b = (min(b), max(b)) if isinstance(b, set) else b
-    return lo_a <= hi_b and lo_b <= hi_a
+def strided_overlap_witness(a: MemRef, b: MemRef) -> int | None:
+    """Smallest element index two strided descriptors both touch, or None.
+
+    Each descriptor's footprint is the arithmetic progression
+    ``{offset + k*stride : 0 <= k < length}``.  Two footprints with
+    overlapping [min, max] envelopes can still be disjoint (interleaved
+    strides), so the envelope test is not evidence of a race; this
+    solves the pair of congruences ``x = lo_a (mod step_a)``,
+    ``x = lo_b (mod step_b)`` exactly (GCD/CRT) over the envelope
+    intersection — no enumeration, any extent.
+    """
+    na, nb = _normalize_ap(a), _normalize_ap(b)
+    if na is None or nb is None:
+        return None
+    lo_a, hi_a, sa = na
+    lo_b, hi_b, sb = nb
+    lo = lo_a if lo_a > lo_b else lo_b
+    hi = hi_a if hi_a < hi_b else hi_b
+    if lo > hi:
+        return None
+    g = gcd(sa, sb)
+    if (lo_b - lo_a) % g:
+        return None  # the congruences are incompatible: disjoint sets
+    # Smallest x >= lo with x = lo_a (mod sa) and x = lo_b (mod sb):
+    # write x = lo_a + i*sa and solve i*(sa/g) = (lo_b-lo_a)/g (mod sb/g).
+    m = sb // g
+    if m > 1:
+        i0 = ((lo_b - lo_a) // g) % m * pow(sa // g, -1, m) % m
+    else:
+        i0 = 0
+    x = lo_a + i0 * sa
+    lcm = sa // g * sb
+    if x < lo:
+        x += (lo - x + lcm - 1) // lcm * lcm
+    return x if x <= hi else None
 
 
 def dsr_pass(fabric: Fabric, cores) -> list[Diagnostic]:
-    """Descriptor bounds and the concurrent-write data-race lint.
+    """Descriptor bounds and the concurrent-access data-race lint.
 
     Every ``MemRef``'s ``offset + stride*(length-1)`` must stay inside
     its backing allocation, and two instructions a single task launches
     on *different* thread slots (the core runs them concurrently) must
-    not have overlapping write ranges on the same array.  Instructions
-    queued on the main thread are sequential among themselves and never
-    race each other.
+    not touch overlapping index sets on the same array when at least one
+    of them writes.  Write-write overlap is a ``write-race``; a writer
+    overlapping another slot's read is a ``read-write-race`` (the reader
+    observes a nondeterministic mix of old and new values).  Overlap is
+    decided by exact strided-set intersection
+    (:func:`strided_overlap_witness`), never by [min, max] envelopes.
+    Instructions queued on the main thread are sequential among
+    themselves and never race each other.
     """
     diags: list[Diagnostic] = []
     for pos, core in _decl_cores(cores):
@@ -408,34 +444,58 @@ def dsr_pass(fabric: Fabric, cores) -> list[Diagnostic]:
             return True
 
         for tname, task in decl.tasks.items():
-            writers: list[tuple[object, MemRef]] = []  # (slot, ref)
+            # (slot, writes?, ref, instr name); dst is a write — a
+            # read-modify-write for addin/mac — and every MemRef source
+            # is a read.
+            accesses: list[tuple[object, bool, MemRef, str]] = []
             for instr in task.launches:
                 refs = [r for r in (instr.dst, *instr.srcs)
                         if isinstance(r, MemRef)]
                 ok = all([_check_ref(r, instr.name or instr.op) for r in refs])
-                if ok and isinstance(instr.dst, MemRef):
-                    slot = "main" if instr.thread is None else instr.thread
-                    writers.append((slot, instr.dst, instr.name or instr.op))
+                if not ok:
+                    continue
+                slot = "main" if instr.thread is None else instr.thread
+                name = instr.name or instr.op
+                if isinstance(instr.dst, MemRef):
+                    accesses.append((slot, True, instr.dst, name))
+                for src in instr.srcs:
+                    if isinstance(src, MemRef):
+                        accesses.append((slot, False, src, name))
 
-            for i in range(len(writers)):
-                for j in range(i + 1, len(writers)):
-                    slot_a, ref_a, name_a = writers[i]
-                    slot_b, ref_b, name_b = writers[j]
+            seen: set[tuple] = set()  # one finding per instr pair + array + kind
+            for i in range(len(accesses)):
+                for j in range(i + 1, len(accesses)):
+                    slot_a, w_a, ref_a, name_a = accesses[i]
+                    slot_b, w_b, ref_b, name_b = accesses[j]
                     if slot_a == slot_b:  # same thread slot: sequential
+                        continue
+                    if not (w_a or w_b):  # two reads never race
                         continue
                     if ref_a.array != ref_b.array:
                         continue
-                    if _ranges_overlap(_mem_indices(ref_a),
-                                       _mem_indices(ref_b)):
-                        diags.append(Diagnostic(
-                            Severity.ERROR, "dsr", "write-race",
-                            f"task {tname!r} launches {name_a!r} (thread "
-                            f"{slot_a}) and {name_b!r} (thread {slot_b}) with "
-                            f"overlapping write ranges on {ref_a.array!r}",
-                            where=pos,
-                            hint="serialize them on one thread or split the "
-                                 "output ranges",
-                        ))
+                    witness = strided_overlap_witness(ref_a, ref_b)
+                    if witness is None:
+                        continue
+                    key = (name_a, name_b, ref_a.array, w_a and w_b)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    if w_a and w_b:
+                        kind, what = "write-race", "write ranges"
+                    else:
+                        kind = "read-write-race"
+                        what = ("a write range overlapping the other's "
+                                "read range")
+                    diags.append(Diagnostic(
+                        Severity.ERROR, "dsr", kind,
+                        f"task {tname!r} launches {name_a!r} (thread "
+                        f"{slot_a}) and {name_b!r} (thread {slot_b}) with "
+                        f"overlapping {what} on {ref_a.array!r} "
+                        f"(e.g. index {witness})",
+                        where=pos,
+                        hint="serialize them on one thread or split the "
+                             "ranges",
+                    ))
     return diags
 
 

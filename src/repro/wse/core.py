@@ -74,6 +74,10 @@ class Core:
         #: that could let a sleeping core make progress again (task
         #: activation, instruction launch, word injection).
         self.on_wake = None
+        #: Attached :class:`repro.wse.sanitizer.RaceSanitizer`, or None.
+        #: The hot path pays exactly one ``is None`` test (like the obs
+        #: hook); all shadow tracking lives in :meth:`_step_sanitized`.
+        self.sanitizer = None
         #: True after a cycle in which nothing happened (no task ran, no
         #: instruction advanced or finished); the sleep gate.
         self._quiet = False
@@ -172,6 +176,8 @@ class Core:
         the main thread when ``thread`` is None."""
         if thread is None:
             self.main.append(instr)
+            if self.sanitizer is not None:
+                self.sanitizer.on_launch(self, instr, None)
             self._notify_wake()
             return
         if not (0 <= thread < len(self.threads)):
@@ -183,6 +189,8 @@ class Core:
             )
         self.threads[thread] = instr
         insort(self._occupied, thread)
+        if self.sanitizer is not None:
+            self.sanitizer.on_launch(self, instr, thread)
         self._notify_wake()
 
     # ------------------------------------------------------------------
@@ -193,6 +201,8 @@ class Core:
 
         Returns the number of vector elements processed this cycle.
         """
+        if self.sanitizer is not None:
+            return self._step_sanitized()
         self._stepping = True
         ran = self.scheduler.dispatch(self)
         simd = self._simd
@@ -223,6 +233,50 @@ class Core:
                     self._fire(instr)
         # Tasks activated by this cycle's completions run next cycle,
         # matching the hardware's schedule-on-event behaviour.
+        self._stepping = False
+        self.elements_processed += processed
+        if processed:
+            self.cycles_active += 1
+        self._quiet = not (processed or ran or finished)
+        return processed
+
+    def _step_sanitized(self) -> int:
+        """:meth:`step` with race-sanitizer hooks on the same schedule.
+
+        Identical issue order and numerics — the sanitizer only observes
+        (epoch starts at main-head arrival, epoch retirement before the
+        completion fires), so a sanitized run is bit-identical.
+        """
+        san = self.sanitizer
+        self._stepping = True
+        ran = self.scheduler.dispatch(self)
+        simd = self._simd
+        processed = 0
+        finished = 0
+        main = self.main
+        if main:
+            head = main[0]
+            san.on_main_head(self, head)
+            fn = head._stepfn
+            processed += fn(simd) if fn is not None else head.step(simd)
+            if head.finished:
+                main.popleft()
+                finished += 1
+                san.on_finish(self, head, "main")
+                self._fire(head)
+        occupied = self._occupied
+        if occupied:
+            threads = self.threads
+            for slot in occupied[:]:
+                instr = threads[slot]
+                fn = instr._stepfn
+                processed += fn(simd) if fn is not None else instr.step(simd)
+                if instr.finished:
+                    threads[slot] = None
+                    occupied.remove(slot)
+                    finished += 1
+                    san.on_finish(self, instr, slot)
+                    self._fire(instr)
         self._stepping = False
         self.elements_processed += processed
         if processed:

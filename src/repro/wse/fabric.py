@@ -294,6 +294,10 @@ class Fabric:
         #: ``on_skip(n)`` per fast-forwarded span.  The hot path pays a
         #: single ``is None`` test while detached.
         self.obs = None
+        #: Attached :class:`repro.wse.sanitizer.RaceSanitizer`, or None.
+        #: Managed by :meth:`attach_sanitizer` / :meth:`detach_sanitizer`
+        #: (or per-call via ``run(sanitize=True)``).
+        self.sanitizer = None
         # ---- active sets (coords are (y, x) to match sweep order) ----
         self._active_routers: set[tuple[int, int]] = set()
         self._awake_cores: set[tuple[int, int]] = set()
@@ -1035,7 +1039,46 @@ class Fabric:
             "flags, or is the predicate watching the wrong state?)"
         )
 
-    def run(self, max_cycles: int = 100_000, until=None, on_cycle=None) -> int:
+    def attach_sanitizer(self, sanitizer=None, metrics=None):
+        """Attach a runtime race sanitizer to every attached core.
+
+        Creates a :class:`repro.wse.sanitizer.RaceSanitizer` (optionally
+        accounting into ``metrics``) unless one is passed in.  The
+        sanitizer persists across :meth:`run` calls — each run's normal
+        return acts as a host barrier — until :meth:`detach_sanitizer`.
+        For a single sanitized run, prefer ``run(sanitize=True)``.
+        """
+        if self.sanitizer is not None:
+            raise RuntimeError("a sanitizer is already attached")
+        if sanitizer is None:
+            from .sanitizer import RaceSanitizer
+
+            sanitizer = RaceSanitizer(metrics=metrics)
+        try:
+            sanitizer.attach(
+                ((y, x), core)
+                for y in range(self.height)
+                for x in range(self.width)
+                if (core := self.cores[y][x]) is not None
+            )
+        except BaseException:
+            # Already-launched instructions can race at attach time;
+            # unhook the partially-attached cores before propagating.
+            sanitizer.detach()
+            raise
+        self.sanitizer = sanitizer
+        return sanitizer
+
+    def detach_sanitizer(self):
+        """Detach and return the attached sanitizer (None when absent)."""
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.detach()
+            self.sanitizer = None
+        return sanitizer
+
+    def run(self, max_cycles: int = 100_000, until=None, on_cycle=None,
+            sanitize: bool = False) -> int:
         """Step until ``until(fabric)`` is true or the fabric quiesces.
 
         Returns the cycle count.  Raises
@@ -1048,7 +1091,19 @@ class Fabric:
         cycle — *before* the completion and deadlock checks, so an
         observer sees the final (possibly stuck) cycle and a partial
         trace survives a :class:`FabricDeadlockError`.
+
+        ``sanitize=True`` attaches a race sanitizer for the duration of
+        this call (see :mod:`repro.wse.sanitizer`), raising
+        :class:`~repro.wse.sanitizer.FabricRaceError` on the first
+        unordered conflicting pair of tile-memory accesses.  Sanitized
+        runs are bit-identical to unsanitized ones.
         """
+        if sanitize and self.sanitizer is None:
+            self.attach_sanitizer()
+            try:
+                return self.run(max_cycles, until, on_cycle)
+            finally:
+                self.detach_sanitizer()
         step = self.step
         for _ in range(max_cycles):
             r = step()
@@ -1069,6 +1124,8 @@ class Fabric:
             )
             if until is not None:
                 if until(self):
+                    if self.sanitizer is not None:
+                        self.sanitizer.barrier()
                     return self.cycle
                 if not self._active_routers and not self._tx_cores:
                     if not self._awake_cores or self.quiescent():
@@ -1076,6 +1133,8 @@ class Fabric:
                 elif wedged and not self.quiescent():
                     raise FabricDeadlockError(self._diagnose_deadlock(True))
             elif self.quiescent():
+                if self.sanitizer is not None:
+                    self.sanitizer.barrier()
                 return self.cycle
             elif not self._active_routers and not self._tx_cores \
                     and not self._awake_cores:

@@ -62,6 +62,12 @@ class TaskScheduler:
         #: hook so external activations pull a sleeping core back into
         #: the active set (see docs/simulator_performance.md).
         self.on_change: Callable[[], None] | None = None
+        #: Called with the :class:`Task` just before its body runs.  The
+        #: race sanitizer uses this to merge a task's pending activation
+        #: clock into the core's carrier (see
+        #: :mod:`repro.wse.sanitizer`); None costs one local test per
+        #: dispatched task.
+        self.on_dispatch: Callable[[Task], None] | None = None
 
     # ------------------------------------------------------------------
     # Program construction
@@ -167,6 +173,7 @@ class TaskScheduler:
         ran = 0
         tasks = self._tasks
         blocked = self._blocked
+        on_dispatch = self.on_dispatch
         for _ in range(1000):
             if not activated:
                 break
@@ -184,6 +191,8 @@ class TaskScheduler:
                     (tasks[n] for n in names), key=lambda t: (-t.priority, t.name)
                 )
             activated.discard(task.name)
+            if on_dispatch is not None:
+                on_dispatch(task)
             task.body(core)
             task.runs += 1
             self.dispatch_count += 1

@@ -10,9 +10,9 @@ from repro.wse.analyze.lint import (
 )
 
 #: The stable machine-readable schema: every --json line has exactly
-#: these keys.
-JSON_KEYS = {"severity", "pass", "kind", "message", "where", "channel",
-             "hint", "data", "program"}
+#: these keys (documented in docs/static_analysis.md).
+JSON_KEYS = {"schema_version", "severity", "pass", "kind", "message",
+             "where", "channel", "hint", "data", "program"}
 
 
 class TestLintCli:
@@ -76,8 +76,11 @@ class TestLintJson:
         lines = capsys.readouterr().out.strip().splitlines()
         objs = [json.loads(line) for line in lines]
         assert objs
+        from repro.wse.analyze.diagnostics import SCHEMA_VERSION
+
         for obj in objs:
             assert set(obj) == JSON_KEYS
+            assert obj["schema_version"] == SCHEMA_VERSION == 1
             assert obj["program"] == "broken"
             assert obj["severity"] in ("error", "warning", "info")
         kinds = {o["kind"] for o in objs}

@@ -3,13 +3,12 @@
 Covers the metric instruments, the span tracer, the fabric observer
 hooks (including exact cycle accounting against the active-set engine),
 Chrome-trace export validity, the folded-in ``FabricTrace``/``trace_run``
-with its deprecation shim, deadlock behaviour under tracing, and the
-end-to-end DES solve acceptance criterion: phase spans tile the unified
-wafer timeline exactly.
+(whose retired ``repro.wse.stats`` shim must stay gone), deadlock
+behaviour under tracing, and the end-to-end DES solve acceptance
+criterion: phase spans tile the unified wafer timeline exactly.
 """
 
 import json
-import warnings
 
 import numpy as np
 import pytest
@@ -311,17 +310,20 @@ class TestFabricTrace:
         path = obs.write_chrome_trace(tmp_path / "partial.json")
         assert json.loads(path.read_text())["traceEvents"]
 
-    def test_stats_shim_warns_on_access_not_import(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            from repro.wse import stats  # noqa: F401 - must not warn
-        with pytest.warns(DeprecationWarning, match="moved to repro.obs"):
-            shimmed = stats.FabricTrace
-        assert shimmed is FabricTrace
-        with pytest.warns(DeprecationWarning):
-            assert stats.trace_run is trace_run
-        with pytest.raises(AttributeError):
-            stats.no_such_name
+    def test_stats_shim_retired(self):
+        """The deprecated ``repro.wse.stats`` PEP 562 shim is gone; the
+        canonical homes are ``repro.obs.trace`` and the ``repro.wse``
+        re-export."""
+        with pytest.raises(ImportError):
+            from repro.wse import stats  # noqa: F401
+        from repro.obs.trace import FabricTrace as canonical
+        from repro.wse import FabricTrace as reexported
+
+        assert canonical is reexported is FabricTrace
+        from repro.obs.trace import trace_run as canonical_run
+        from repro.wse import trace_run as reexported_run
+
+        assert canonical_run is reexported_run is trace_run
 
 
 class TestObservedSolve:

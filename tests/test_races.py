@@ -1,0 +1,351 @@
+"""Tests for the happens-before race detector and runtime sanitizer.
+
+Four families:
+
+* **exact strided intersection** — `strided_overlap_witness` held to a
+  brute-force index-set intersection on Hypothesis-generated
+  descriptor pairs (no false positives, no false negatives, smallest
+  witness);
+* **seeded defects** — racy programs the `races` (cross-task) and
+  `dsr` (intra-task) passes must each flag with exactly one diagnostic
+  of the right kind, plus ordered variants that must stay clean;
+* **counterexample validation** — every static `race` witness must
+  trip the runtime sanitizer via `confirm_race` under both stepping
+  engines;
+* **the runtime sanitizer** — `Fabric.run(sanitize=True)` raises
+  `FabricRaceError` on a real race, stays silent and bit-identical on
+  a clean program, and accounts its work into the metrics registry.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry
+from repro.wse import CS1, Core, Fabric, FabricRaceError, RaceSanitizer
+from repro.wse.analyze import (
+    InstrDecl,
+    MemRef,
+    analyze_program,
+    build_hb_graph,
+    confirm_race,
+    races_pass,
+    strided_overlap_witness,
+    synthesize_race_program,
+)
+from repro.wse.dsr import Action, Instruction, MemCursor
+
+
+def _noop(core):
+    pass
+
+
+def _one_core_fabric():
+    f = Fabric(1, 1)
+    core = Core(0, 0, CS1)
+    f.attach_core(0, 0, core)
+    return f, core
+
+
+# ----------------------------------------------------------------------
+# Exact strided-set intersection (the shared overlap oracle)
+# ----------------------------------------------------------------------
+memrefs = st.builds(
+    MemRef,
+    array=st.just("a"),
+    offset=st.integers(min_value=0, max_value=60),
+    length=st.integers(min_value=0, max_value=24),
+    stride=st.integers(min_value=-7, max_value=7),
+)
+
+
+class TestStridedOverlapWitness:
+    @given(memrefs, memrefs)
+    def test_matches_bruteforce_intersection(self, a, b):
+        """The GCD/CRT witness is exactly min(set(a) & set(b))."""
+        truth = set(a.indices()) & set(b.indices())
+        witness = strided_overlap_witness(a, b)
+        if truth:
+            assert witness == min(truth)
+        else:
+            assert witness is None
+
+    @given(memrefs, memrefs)
+    def test_symmetric(self, a, b):
+        assert strided_overlap_witness(a, b) == strided_overlap_witness(b, a)
+
+    def test_interleaved_strides_disjoint(self):
+        """Overlapping envelopes, disjoint index sets: no witness."""
+        a = MemRef("a", 0, 8, stride=2)   # evens
+        b = MemRef("a", 1, 8, stride=2)   # odds
+        assert strided_overlap_witness(a, b) is None
+
+    def test_crt_finds_sparse_meeting_point(self):
+        a = MemRef("a", 0, 10, stride=3)  # 0,3,...,27
+        b = MemRef("a", 1, 10, stride=7)  # 1,8,15,22,...
+        assert strided_overlap_witness(a, b) == 15
+
+
+# ----------------------------------------------------------------------
+# Intra-task conflicts (the dsr pass) — read-write overlap
+# ----------------------------------------------------------------------
+class TestDsrReadWriteRace:
+    def test_seeded_read_write_overlap(self):
+        """A writer on one slot overlapping another slot's read is a
+        read-write-race (exactly one finding)."""
+        f, core = _one_core_fabric()
+        core.scheduler.add("rw", _noop)
+        core.scheduler.activate("rw")
+        core.memory.alloc("buf", 16, np.float16)
+        core.memory.alloc("out", 16, np.float16)
+        core.program_decl.task("rw", launches=(
+            InstrDecl("copy", MemRef("buf", 0, 10), (), length=10,
+                      thread=0, name="writer"),
+            InstrDecl("copy", MemRef("out", 0, 8), (MemRef("buf", 8, 8),),
+                      length=8, thread=1, name="reader"),
+        ))
+        report = analyze_program(f)
+        assert len(report) == 1
+        (d,) = report
+        assert (d.pass_name, d.kind) == ("dsr", "read-write-race")
+        assert d.severity.value == "error"
+
+    def test_disjoint_read_and_write_stay_clean(self):
+        f, core = _one_core_fabric()
+        core.scheduler.add("ok", _noop)
+        core.scheduler.activate("ok")
+        core.memory.alloc("buf", 16, np.float16)
+        core.memory.alloc("out", 16, np.float16)
+        core.program_decl.task("ok", launches=(
+            InstrDecl("copy", MemRef("buf", 0, 8), (), length=8,
+                      thread=0, name="writer"),
+            InstrDecl("copy", MemRef("out", 0, 8), (MemRef("buf", 8, 8),),
+                      length=8, thread=1, name="reader"),
+        ))
+        assert analyze_program(f).ok
+
+
+# ----------------------------------------------------------------------
+# Cross-task may-happen-in-parallel (the races pass)
+# ----------------------------------------------------------------------
+def _two_task_program(ordered: bool, mode_b: str = "w"):
+    """Two tasks, each launching one instruction on its own slot over
+    overlapping halves of `buf`.  When `ordered`, task b is activated
+    solely by a's completion (a happens-before edge); otherwise both
+    start activated and race."""
+    f, core = _one_core_fabric()
+    core.memory.alloc("buf", 16, np.float16)
+    core.memory.alloc("out", 16, np.float16)
+    core.scheduler.add("a", _noop)
+    core.scheduler.activate("a")
+    core.scheduler.add("b", _noop)
+    if not ordered:
+        core.scheduler.activate("b")
+    completions = (("b", Action.ACTIVATE),) if ordered else ()
+    core.program_decl.task("a", launches=(
+        InstrDecl("copy", MemRef("buf", 0, 10), (), length=10,
+                  thread=0, name="wa", completions=completions),
+    ))
+    if mode_b == "w":
+        instr_b = InstrDecl("copy", MemRef("buf", 8, 8), (), length=8,
+                            thread=1, name="wb")
+    else:
+        instr_b = InstrDecl("copy", MemRef("out", 0, 8),
+                            (MemRef("buf", 8, 8),), length=8,
+                            thread=1, name="rb")
+    core.program_decl.task("b", launches=(instr_b,))
+    return f
+
+
+class TestRacesPass:
+    def test_seeded_write_write_race(self):
+        report = analyze_program(_two_task_program(ordered=False))
+        assert len(report) == 1
+        (d,) = report
+        assert (d.pass_name, d.kind) == ("races", "race")
+        assert d.where == (0, 0)
+        acc_a, acc_b, witness, missing = d.data
+        assert acc_a[:4] == ("a", "wa", 0, "w")
+        assert acc_b[:4] == ("b", "wb", 1, "w")
+        assert witness == 8  # smallest commonly-written element
+        assert missing == (("a", "wa", "end"), ("b", "wb", "start"))
+
+    def test_seeded_read_write_race(self):
+        report = analyze_program(_two_task_program(ordered=False,
+                                                   mode_b="r"))
+        kinds = [(d.pass_name, d.kind) for d in report]
+        assert kinds == [("races", "race")]
+
+    def test_completion_ordering_suppresses_race(self):
+        """The same footprints ordered by a completion trigger: clean."""
+        assert analyze_program(_two_task_program(ordered=True)).ok
+
+    def test_two_activators_keep_the_race(self):
+        """With two possible activators the pass must not invent order."""
+        f = _two_task_program(ordered=True)
+        core = f.core(0, 0)
+        # A second task that can also activate b: the sole-activator
+        # rule no longer applies, so the pair races again.
+        core.scheduler.add("c", _noop)
+        core.scheduler.activate("c")
+        core.program_decl.task("c", actions=(("b", Action.ACTIVATE),))
+        report = analyze_program(f, passes=("races",))
+        assert [d.kind for d in report] == ["race"]
+
+    def test_hb_graph_orders_completion_chain(self):
+        f = _two_task_program(ordered=True)
+        g = build_hb_graph(f, [((0, 0), f.core(0, 0))])
+        pos = (0, 0)
+        assert g.reaches((pos, "i", "a", 0, "e"), (pos, "i", "b", 0, "s"))
+        assert not g.reaches((pos, "i", "b", 0, "s"),
+                             (pos, "i", "a", 0, "e"))
+
+    def test_shipped_spmv3d_is_race_clean(self):
+        from repro.kernels.spmv3d import build_spmv_fabric
+        from repro.problems.stencil7 import Stencil7
+
+        op, _b, _dinv = Stencil7.from_random((3, 3, 6)).jacobi_precondition()
+        fabric, _programs = build_spmv_fabric(op, np.zeros(op.shape))
+        assert not races_pass(
+            fabric,
+            [((x, y), fabric.core(x, y))
+             for y in range(fabric.height) for x in range(fabric.width)],
+        )
+
+
+# ----------------------------------------------------------------------
+# Witness -> minimal program -> sanitizer confirmation
+# ----------------------------------------------------------------------
+class TestConfirmRace:
+    @pytest.mark.parametrize("engine", ["active", "reference"])
+    def test_static_race_confirmed_by_sanitizer(self, engine):
+        """Acceptance criterion: every seeded `race` diagnostic is
+        validated by the runtime sanitizer under both engines."""
+        (diag,) = analyze_program(_two_task_program(ordered=False),
+                                  passes=("races",))
+        err = confirm_race(diag, engine=engine)
+        assert isinstance(err, FabricRaceError)
+        assert err.array == "buf"
+        assert err.index == 8
+        names = {err.access_a[0], err.access_b[0]}
+        assert names == {"a.wa", "b.wb"}
+
+    def test_read_write_witness_confirmed(self):
+        (diag,) = analyze_program(
+            _two_task_program(ordered=False, mode_b="r"),
+            passes=("races",),
+        )
+        assert isinstance(confirm_race(diag), FabricRaceError)
+
+    def test_unconfirmable_claim_raises(self):
+        """A (hand-forged) witness whose accesses are disjoint cannot
+        trip the sanitizer: confirm_race must report the failed
+        validation instead of silently passing."""
+        bogus = (
+            ("a", "wa", 0, "w", "buf", 0, 8, 1),
+            ("b", "wb", 1, "w", "buf", 8, 8, 1),
+            8,
+            (("a", "wa", "end"), ("b", "wb", "start")),
+        )
+        with pytest.raises(RuntimeError, match="failed validation"):
+            confirm_race(bogus)
+
+    def test_synthesized_program_is_minimal(self):
+        (diag,) = analyze_program(_two_task_program(ordered=False),
+                                  passes=("races",))
+        ce = synthesize_race_program(diag.data)
+        assert (ce.width, ce.height) == (1, 1)
+        assert "buf" in ce.core(0, 0).memory._allocs
+
+
+# ----------------------------------------------------------------------
+# The runtime sanitizer itself
+# ----------------------------------------------------------------------
+def _racy_runtime_fabric():
+    f, core = _one_core_fabric()
+    buf = core.memory.alloc("buf", 16, np.float32)
+    s0 = core.memory.alloc("s0", 10, np.float32, fill=1.0)
+    s1 = core.memory.alloc("s1", 8, np.float32, fill=2.0)
+    core.launch(Instruction("copy", MemCursor(buf, 0, 10, 1),
+                            [MemCursor(s0, 0, 10, 1)], length=10,
+                            name="w0"), 0)
+    core.launch(Instruction("copy", MemCursor(buf, 8, 8, 1),
+                            [MemCursor(s1, 0, 8, 1)], length=8,
+                            name="w1"), 1)
+    return f
+
+
+class TestRuntimeSanitizer:
+    @pytest.mark.parametrize("engine", ["active", "reference"])
+    def test_concurrent_overlapping_writes_raise(self, engine):
+        f = _racy_runtime_fabric()
+        f.engine = engine
+        with pytest.raises(FabricRaceError, match="no happens-before"):
+            f.run(max_cycles=1_000, sanitize=True)
+
+    def test_error_names_the_conflict(self):
+        with pytest.raises(FabricRaceError) as exc:
+            _racy_runtime_fabric().run(max_cycles=1_000, sanitize=True)
+        err = exc.value
+        assert err.array == "buf" and err.core == (0, 0)
+        assert err.index in range(8, 10)
+        assert {err.access_a[0], err.access_b[0]} == {"w0", "w1"}
+
+    def test_sanitize_run_detaches_after(self):
+        f = _racy_runtime_fabric()
+        with pytest.raises(FabricRaceError):
+            f.run(max_cycles=1_000, sanitize=True)
+        assert f.sanitizer is None
+        assert f.core(0, 0).sanitizer is None
+
+    def test_serialized_main_queue_is_clean(self):
+        """The same overlapping writes on the main queue: serialized,
+        no race, and the data lands deterministically."""
+        f, core = _one_core_fabric()
+        buf = core.memory.alloc("buf", 16, np.float32)
+        s0 = core.memory.alloc("s0", 10, np.float32, fill=1.0)
+        s1 = core.memory.alloc("s1", 8, np.float32, fill=2.0)
+        core.launch(Instruction("copy", MemCursor(buf, 0, 10, 1),
+                                [MemCursor(s0, 0, 10, 1)], length=10), None)
+        core.launch(Instruction("copy", MemCursor(buf, 8, 8, 1),
+                                [MemCursor(s1, 0, 8, 1)], length=8), None)
+        f.run(max_cycles=1_000, sanitize=True)
+        assert buf[8] == 2.0  # second write won, in program order
+
+    def test_clean_program_bit_identical_and_counted(self):
+        """A sanitized AXPY run matches the plain run byte-for-byte and
+        accounts its shadow work into the metrics registry."""
+        from repro.kernels.blas_des import build_axpy_fabric
+
+        x = np.linspace(-1, 1, 32)
+        y = np.linspace(1, -1, 32)
+
+        def run(san):
+            fabric, out, instr = build_axpy_fabric(0.5, x, y)
+            if san is not None:
+                fabric.attach_sanitizer(san)
+            while not instr.finished:
+                fabric.step()
+            return np.asarray(getattr(out, "value", out)).tobytes()
+
+        plain = run(None)
+        registry = MetricsRegistry()
+        san = RaceSanitizer(metrics=registry)
+        assert run(san) == plain
+        assert san.races == 0
+        assert san.instructions_tracked >= 1
+        assert san.accesses_checked >= 64  # 32 reads + 32 writes
+        counters = registry.as_dict()
+        assert counters["sanitizer.instructions_tracked"]["value"] \
+            == san.instructions_tracked
+        assert counters["sanitizer.accesses_checked"]["value"] \
+            == san.accesses_checked
+
+    def test_attach_twice_rejected(self):
+        f, _core = _one_core_fabric()
+        f.attach_sanitizer()
+        with pytest.raises(RuntimeError, match="already"):
+            f.attach_sanitizer()
+        f.detach_sanitizer()
+        assert f.sanitizer is None

@@ -5,7 +5,8 @@ import pytest
 
 from repro.kernels import build_spmv_fabric
 from repro.problems import Stencil7
-from repro.wse import Fabric, FabricTrace, Port, trace_run
+from repro.obs.trace import FabricTrace, trace_run
+from repro.wse import Fabric, Port
 
 RNG = np.random.default_rng(101)
 
