@@ -47,10 +47,14 @@ trace:
 # measures the observability layer's overhead (tracer off vs on) into
 # BENCH_obs.json and fails if the detached hot path regresses >5%.  The
 # third step times every static-analysis pass (BENCH_analyze.json).
+# The fourth compares the trace-compiled replay engine against the
+# live engines (BENCH_replay.json) and fails on any three-way
+# equivalence mismatch.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_des_engine.py --quick
 	PYTHONPATH=src python benchmarks/bench_obs_overhead.py --quick
 	PYTHONPATH=src python benchmarks/bench_analyze.py --quick
+	PYTHONPATH=src python benchmarks/bench_replay.py --quick
 
 bench:
 	pytest benchmarks/ --benchmark-only -q

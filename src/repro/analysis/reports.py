@@ -392,7 +392,7 @@ def energy_report() -> str:
     )
 
 
-def des_scale_report(shape=(16, 16, 2)) -> str:
+def des_scale_report(shape=(16, 16, 2), engine="active") -> str:
     """BiCGStab on the word-level simulator at 256 tiles (16 x 16).
 
     The largest fabric exercised anywhere else in the suite is 8 x 8
@@ -400,6 +400,9 @@ def des_scale_report(shape=(16, 16, 2)) -> str:
     SpMV and AllReduce as fabric programs, persistent engines, the
     event-driven active-set stepping — on a fabric 4x larger, and
     reports the engine's observability counters alongside the solve.
+    ``engine`` selects the stepping engine (``python -m repro des-scale
+    --engine replay`` records iteration 1 and replays the rest as
+    compiled NumPy schedules).
     """
     import time
 
@@ -407,7 +410,7 @@ def des_scale_report(shape=(16, 16, 2)) -> str:
     from ..problems import momentum_system
 
     sys_ = momentum_system(shape, reynolds=50.0, dt=0.02)
-    solver = DESBiCGStab(sys_.operator, engine="active", persistent=True)
+    solver = DESBiCGStab(sys_.operator, engine=engine, persistent=True)
     t0 = time.perf_counter()
     res = solver.solve(sys_.b, rtol=5e-3, maxiter=30)
     wall = time.perf_counter() - t0
@@ -427,7 +430,7 @@ def des_scale_report(shape=(16, 16, 2)) -> str:
         peak_c = max(peak_c, st.peak_active_cores)
     stepped = cycles - skipped
     nx, ny, nz = shape
-    return format_table(
+    out = format_table(
         ["quantity", "value"],
         [
             ("fabric", f"2 x {nx}x{ny} tiles ({2 * nx * ny} total; "
@@ -446,8 +449,25 @@ def des_scale_report(shape=(16, 16, 2)) -> str:
             ("wall seconds", round(wall, 2)),
             ("cycles / second", round(cycles / wall, 0)),
         ],
-        title="event-driven DES at 16x16 (4x the largest tested fabric)",
+        title=f"event-driven DES at 16x16 ({engine} engine)",
     )
+    if engine == "replay":
+        extra = []
+        for label, eng in (("spmv", solver._spmv_eng),
+                           ("allreduce", solver._ar_eng)):
+            sess = getattr(eng, "replay", None) if eng is not None else None
+            if sess is None:
+                continue
+            extra.append(
+                f"  replay[{label}]: records={sess.records} "
+                f"replays={sess.replays} fallbacks={sess.fallbacks} "
+                f"invalidations={sess.invalidations}"
+            )
+            for d in sess.diagnostics:
+                extra.append(f"    {d}")
+        if extra:
+            out = out + "\n" + "\n".join(extra)
+    return out
 
 
 def lint_report() -> str:

@@ -39,6 +39,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="experiments_regenerated.md",
         help="output path for write-report",
     )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=["active", "reference", "replay"],
+        help="stepping engine for des-scale (default: active)",
+    )
     return parser
 
 
@@ -96,6 +102,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown report {name!r}\n", file=sys.stderr)
         print(_describe(), file=sys.stderr)
         return 2
+    if args.engine is not None:
+        if name != "des-scale":
+            print("--engine only applies to des-scale", file=sys.stderr)
+            return 2
+        print(fn(engine=args.engine))
+        return 0
     print(fn())
     return 0
 

@@ -78,9 +78,14 @@ class DESBiCGStab:
         passed through :func:`repro.wse.analyze.analyze_program`, so a
         defective program raises before the first solve.
     engine:
-        Fabric stepping engine: ``"active"`` (event-driven active-set
-        sweep, the default) or ``"reference"`` (the naive full-fabric
-        sweep kept for equivalence checking).
+        Kernel execution engine: ``"active"`` (event-driven active-set
+        sweep, the default), ``"reference"`` (the naive full-fabric
+        sweep kept for equivalence checking), or ``"replay"`` (record
+        the first iteration's kernel schedules on the active engine,
+        replay later iterations as compiled vectorized array programs;
+        requires ``persistent=True``).  Replay falls back to the live
+        engine on any program the analyzer cannot prove
+        schedule-deterministic, and on any cache invalidation.
     persistent:
         When True (default), build one :class:`SpmvEngine` and one
         :class:`AllReduceEngine` at first use and re-run them for every
@@ -105,6 +110,11 @@ class DESBiCGStab:
         if not self.operator.has_unit_diagonal:
             raise ValueError(
                 "DES BiCGStab requires a Jacobi-preconditioned operator"
+            )
+        if self.engine == "replay" and not self.persistent:
+            raise ValueError(
+                "engine='replay' records a persistent program once and "
+                "replays it; it requires persistent=True"
             )
         if self.analyze:
             build_spmv_fabric(
@@ -184,7 +194,7 @@ class DESBiCGStab:
                     self.operator, self.config, engine=self.engine,
                     obs=self.obs,
                 )
-            if self.engine == "active":
+            if self.engine in ("active", "replay"):
                 self._sync(self._spmv_eng.fabric)
             u, cycles = self._spmv_eng.run(v.astype(np.float16))
         else:
@@ -221,7 +231,7 @@ class DESBiCGStab:
                         self.obs.observe_fabric(
                             "allreduce", self._ar_eng.fabric
                         )
-                if self.engine == "active":
+                if self.engine in ("active", "replay"):
                     self._sync(self._ar_eng.fabric)
                 total, cycles = self._ar_eng.reduce(partials.T)
             else:
@@ -319,7 +329,7 @@ class DESBiCGStab:
             rho = rho_new
             p = self._axpy(float(beta), self._axpy(-float(omega), s, p), r)
 
-        if self.persistent and self.engine == "active":
+        if self.persistent and self.engine in ("active", "replay"):
             # Close out the unified timeline: both fabrics end the solve
             # at the same wafer cycle, idle tails skipped in O(1).
             if self._spmv_eng is not None:

@@ -25,6 +25,8 @@ against :mod:`repro.precision`.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
 from ..wse.analyze import (
@@ -52,6 +54,31 @@ def _single_core_fabric(config: MachineConfig) -> tuple[Fabric, Core]:
     core = Core(0, 0, config)
     fabric.attach_core(0, 0, core)
     return fabric, core
+
+
+@contextmanager
+def _maybe_record(fabric, replay: bool, label: str):
+    """``engine="replay"`` for the one-shot BLAS runners: record the
+    single live execution and prove the compiled schedule reproduces it
+    bit-for-bit (the live results themselves are returned either way)."""
+    if not replay:
+        yield None
+        return
+    from ..wse.replay import ReplaySession
+
+    session = ReplaySession(fabric, label=label)
+    if not session.enabled:
+        yield None
+        return
+    with session.record() as rec:
+        yield rec
+    if session.schedule is not None:
+        bad = session.schedule.check()
+        if bad:
+            raise AssertionError(
+                "replay self-check diverged from the live run: "
+                + "; ".join(bad[:5])
+            )
 
 
 def build_axpy_fabric(
@@ -158,13 +185,15 @@ def run_axpy_des(
     kernel span.
     """
     fabric, out, instr = build_axpy_fabric(a, x, y, config, analyze=analyze)
-    fabric.engine = engine
+    replay = engine == "replay"
+    fabric.engine = "active" if replay else engine
     n = out.size
     start = fabric.cycle
-    while not instr.finished:
-        fabric.step()
-        if fabric.cycle - start > 10 * n + 10:  # pragma: no cover - defensive
-            raise RuntimeError("AXPY program did not finish")
+    with _maybe_record(fabric, replay, "axpy"):
+        while not instr.finished:
+            fabric.step()
+            if fabric.cycle - start > 10 * n + 10:  # pragma: no cover - defensive
+                raise RuntimeError("AXPY program did not finish")
     if obs is not None:
         obs.tracer.record("axpy", start, fabric.cycle - start,
                           track="kernel:blas", cat="kernel", args={"n": n})
@@ -188,13 +217,15 @@ def run_dot_des(
     span.
     """
     fabric, acc, instr = build_dot_fabric(x, y, config, analyze=analyze)
-    fabric.engine = engine
+    replay = engine == "replay"
+    fabric.engine = "active" if replay else engine
     n = np.asarray(x).size
     start = fabric.cycle
-    while not instr.finished:
-        fabric.step()
-        if fabric.cycle - start > 10 * n + 10:  # pragma: no cover - defensive
-            raise RuntimeError("dot program did not finish")
+    with _maybe_record(fabric, replay, "dot"):
+        while not instr.finished:
+            fabric.step()
+            if fabric.cycle - start > 10 * n + 10:  # pragma: no cover - defensive
+                raise RuntimeError("dot program did not finish")
     if obs is not None:
         obs.tracer.record("dot", start, fabric.cycle - start,
                           track="kernel:blas", cat="kernel", args={"n": n})

@@ -375,8 +375,11 @@ def run_spmv2d_des(
     """
     nx, ny = op.shape
     bx, by = block_shape
-    fabric, programs = build_spmv2d_fabric(op, v, block_shape, config,
-                                           analyze=analyze, engine=engine)
+    replay = engine == "replay"
+    fabric, programs = build_spmv2d_fabric(
+        op, v, block_shape, config, analyze=analyze,
+        engine="active" if replay else engine,
+    )
     px, py = nx // bx, ny // by
     if obs is not None:
         obs.observe_fabric(obs.unique_fabric_name("spmv2d"), fabric)
@@ -387,7 +390,26 @@ def run_spmv2d_des(
         )
 
     start = fabric.cycle
-    cycles = fabric.run(max_cycles=max_cycles, until=finished)
+    if replay:
+        # One-shot runner: record the single live execution and prove
+        # the compiled schedule reproduces it bit-for-bit.
+        from ..wse.replay import ReplaySession
+
+        session = ReplaySession(fabric, label="spmv2d")
+        if session.enabled:
+            with session.record():
+                cycles = fabric.run(max_cycles=max_cycles, until=finished)
+            if session.schedule is not None:
+                bad = session.schedule.check()
+                if bad:
+                    raise AssertionError(
+                        "replay self-check diverged from the live run: "
+                        + "; ".join(bad[:5])
+                    )
+        else:
+            cycles = fabric.run(max_cycles=max_cycles, until=finished)
+    else:
+        cycles = fabric.run(max_cycles=max_cycles, until=finished)
     if obs is not None:
         obs.tracer.record("spmv2d", start, fabric.cycle - start,
                           track="kernel:spmv2d", cat="kernel",

@@ -194,6 +194,7 @@ def _build_tile_program(
             # arrival order.  Hot path: operate on the FIFO buffer and
             # accumulator array directly (same semantics as
             # pop()/peek()/write(), minus the per-element calls).
+            rec = c.recorder
             for fifo, acc in _pairs:
                 buf = fifo._buf
                 if not buf:
@@ -204,6 +205,14 @@ def _build_tile_program(
                 pos = acc.pos
                 length = acc.length
                 popleft = buf.popleft
+                if rec is not None:
+                    # Tape the drain before the adds land so first-touch
+                    # leaves capture pre-mutation cell values.
+                    n = len(buf)
+                    if n > length - pos:
+                        n = length - pos
+                    if n:
+                        rec.on_drain(fifo, acc, pos, n)
                 while buf and pos < length:
                     idx = offset + pos * stride
                     arr[idx] = arr[idx] + popleft()
@@ -439,7 +448,10 @@ class SpmvEngine:
         self.fabric, self.programs = build_spmv_fabric(
             op, np.zeros(op.shape), config, fifo_capacity
         )
-        self.fabric.engine = engine
+        self.engine = engine
+        # "replay" records the first run() on the live active-set engine
+        # and replays later runs as the compiled schedule.
+        self.fabric.engine = "active" if engine == "replay" else engine
         self.runs = 0
         #: Optional :class:`repro.obs.ObsSession` — attached *before*
         #: the warm-up run so the observer's cycle accounting is exact
@@ -449,10 +461,47 @@ class SpmvEngine:
             obs.observe_fabric(obs.unique_fabric_name(obs_name), self.fabric)
         # The build activates each tile's spmv task for a first run over
         # the zero vector; consume it so run() starts clean.
+        self.replay = None
+        if engine == "replay":
+            # Prove schedule determinism on the freshly built program
+            # (the task-graph pass inspects live activation state, which
+            # the warm-up run below perturbs).
+            from ..wse.replay import ReplaySession
+
+            self.replay = ReplaySession(self.fabric, label="spmv")
         warm = self._execute()
         if obs is not None:
             obs.tracer.record("spmv.warmup", self.fabric.cycle - warm, warm,
                               track="kernel:spmv", cat="kernel")
+
+    def _configure_recording(self, rec) -> None:
+        """Register each tile's operand/coefficient arrays: ``v`` cells
+        become one flat extern vector (plus a baked zero pad), the
+        stencil coefficient arrays bake into constants."""
+        nx, ny, nz = self.op.shape
+        base = 0
+        for j in range(ny):
+            for i in range(nx):
+                prog = self.programs[j][i]
+                mem = prog.core.memory
+                rec.register_extern(prog.v, "v", base, nz)
+                rec.register_static(prog.v)  # the v[Z] = 0 pad cell
+                for name in ("xp_a", "xm_a", "yp_a", "ym_a",
+                             "zinit_a", "zloop_a"):
+                    rec.register_static(mem.get(name))
+                base += nz
+
+    def _flat_v(self, v16: np.ndarray) -> np.ndarray:
+        """The extern vector matching :meth:`_configure_recording`'s
+        tile order (fp16 values widened exactly to float64)."""
+        nx, ny, nz = self.op.shape
+        flat = np.empty(nx * ny * nz, dtype=np.float64)
+        base = 0
+        for j in range(ny):
+            for i in range(nx):
+                flat[base:base + nz] = v16[i, j, :]
+                base += nz
+        return flat
 
     def _execute(self) -> int:
         nx, ny, nz = self.op.shape
@@ -472,6 +521,21 @@ class SpmvEngine:
         """One SpMV over the persistent program; returns ``(u, cycles)``."""
         nx, ny, nz = self.op.shape
         v16 = np.asarray(v, dtype=np.float16).reshape(self.op.shape)
+        session = self.replay
+        if session is not None and session.valid():
+            cycles = session.replay({"v": self._flat_v(v16)})
+            self.runs += 1
+            if self.obs is not None:
+                self.obs.tracer.record(
+                    "spmv.run", self.fabric.cycle - cycles, cycles,
+                    track="kernel:spmv", cat="kernel",
+                    args={"run": self.runs},
+                )
+            u = np.empty(self.op.shape, dtype=np.float64)
+            for j in range(ny):
+                for i in range(nx):
+                    u[i, j, :] = self.programs[j][i].result().astype(np.float64)
+            return u, cycles
         for j in range(ny):
             for i in range(nx):
                 prog = self.programs[j][i]
@@ -479,7 +543,11 @@ class SpmvEngine:
                 prog.v[nz] = np.float16(0.0)
                 prog.core.flags["spmv_done"] = False
                 prog.core.scheduler.activate("spmv")
-        cycles = self._execute()
+        if session is not None and session.enabled:
+            with session.record(configure=self._configure_recording):
+                cycles = self._execute()
+        else:
+            cycles = self._execute()
         self.runs += 1
         if self.obs is not None:
             self.obs.tracer.record(
@@ -512,7 +580,8 @@ def run_spmv_des(
     """
     fabric, programs = build_spmv_fabric(op, v, config, fifo_capacity,
                                          two_sum_tasks, analyze=analyze)
-    fabric.engine = engine
+    replay = engine == "replay"
+    fabric.engine = "active" if replay else engine
     nx, ny, nz = op.shape
 
     def finished(f: Fabric) -> bool:
@@ -520,7 +589,27 @@ def run_spmv_des(
             programs[j][i].done for j in range(ny) for i in range(nx)
         )
 
-    cycles = fabric.run(max_cycles=max_cycles, until=finished)
+    if replay:
+        # One-shot runners record the single live execution and prove
+        # the compiled schedule reproduces it bit-for-bit (the recorded
+        # results themselves are returned either way).
+        from ..wse.replay import ReplaySession
+
+        session = ReplaySession(fabric, label="spmv-oneshot")
+        if session.enabled:
+            with session.record():
+                cycles = fabric.run(max_cycles=max_cycles, until=finished)
+            if session.schedule is not None:
+                bad = session.schedule.check()
+                if bad:
+                    raise AssertionError(
+                        "replay self-check diverged from the live run: "
+                        + "; ".join(bad[:5])
+                    )
+        else:
+            cycles = fabric.run(max_cycles=max_cycles, until=finished)
+    else:
+        cycles = fabric.run(max_cycles=max_cycles, until=finished)
     u = np.empty(op.shape, dtype=np.float64)
     for j in range(ny):
         for i in range(nx):

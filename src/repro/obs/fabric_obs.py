@@ -85,6 +85,32 @@ class FabricObserver:
             self.series.append((self.fabric.cycle, 0))
             self._last_words = 0
 
+    def on_replay(self, fabric, stepped: int, skipped: int, words: int,
+                  stall: int, series) -> None:
+        """Replay-engine synthesis: fold a whole replayed kernel run's
+        recorded accounting in at once.  Counters land exactly where a
+        live run would leave them (stepped/skipped cycles, words moved,
+        stall cycles) and the recorded words-per-cycle change points are
+        appended, already rebased to the replay's start cycle.  Sampled
+        instruments (queue-occupancy gauge, active-router histogram) are
+        not re-sampled — replay executes no per-cycle sweep to sample.
+        """
+        self._c_stepped.inc(stepped)
+        if skipped:
+            self._c_skipped.inc(skipped)
+        if words:
+            self._c_words.inc(words)
+        if stall:
+            self._c_stall.inc(stall)
+        if self.keep_series:
+            for cycle, w in series:
+                if w != self._last_words:
+                    self.series.append((cycle, w))
+                    self._last_words = w
+            if self._last_words != 0:
+                self.series.append((fabric.cycle, 0))
+                self._last_words = 0
+
     # ------------------------------------------------------------------
     # Report-time harvesting (whole-grid scans allowed here)
     # ------------------------------------------------------------------

@@ -262,6 +262,9 @@ class ReduceCore:
         self.finish_cycle: int | None = None
         self._quiet = False
         self.on_wake = None  # set by Fabric.attach_core
+        #: Attached :class:`repro.wse.replay.ScheduleRecorder`, or None
+        #: (same one-``is None``-test contract as :class:`Core`).
+        self.recorder = None
 
     def reset(self, value: float) -> None:
         """Re-arm the core for another collective on the same fabric."""
@@ -274,6 +277,13 @@ class ReduceCore:
             CH_ROW: False, CH_COL: False, CH_GATHER: False, CH_BCAST: False
         }
         self._quiet = False
+        rec = self.recorder
+        if rec is not None:
+            # Re-arming is where each run's fresh operand enters: the
+            # accumulator's initial value becomes the next slot of the
+            # "values" extern vector (slots issue in reset-call order,
+            # which AllReduceEngine keeps row-major).
+            rec.on_obj_init(self, "acc", self.acc, extern="values")
         if self.on_wake is not None:
             self.on_wake()
 
@@ -301,6 +311,8 @@ class ReduceCore:
         return self._quiet and not self._inbox
 
     def _advance(self) -> int:
+        if self.recorder is not None:
+            return self._advance_recorded()
         work = 0
         while self._inbox:
             channel, value = self._inbox.popleft()
@@ -334,6 +346,68 @@ class ReduceCore:
             self._sent[CH_BCAST] = True
         return work
 
+    def _advance_recorded(self) -> int:
+        """:meth:`_advance` while a schedule recording is attached.
+
+        Identical arithmetic and send schedule; additionally unwraps
+        arriving :class:`~repro.wse.replay.TracedWord` tokens into the
+        recorder's fp32 accumulation chain and stamps outgoing words
+        with the chain's current node.
+        """
+        rec = self.recorder
+        f32 = np.float32
+        work = 0
+        while self._inbox:
+            channel, word = self._inbox.popleft()
+            if hasattr(word, "t"):
+                value, node = word.v, word.t
+            else:  # un-instrumented producer: keep running, void the tape
+                value = word
+                rec.fail(
+                    f"reduce core ({self.x},{self.y}) received an "
+                    f"unattributed word on channel {channel}"
+                )
+                node = rec.on_obj_init(self, "_stray", f32(value))
+            if channel == CH_BCAST:
+                self.result = f32(value)
+                rec.obj_set(self, "result", node)
+            else:
+                self.acc = f32(self.acc + f32(value))
+                rec.obj_add32(self, "acc", node)
+                self._counts[channel] += 1
+            work += 1
+        wrap = rec.wrap
+
+        def send(channel):
+            w = wrap(float(self.acc))
+            w.t = rec.obj_get(self, "acc")
+            self._tx.append((channel, w))
+
+        r = self.role
+        if not r.row_sink:
+            if not self._sent[CH_ROW]:
+                send(CH_ROW)
+                self._sent[CH_ROW] = True
+            return work
+        row_done = self._counts[CH_ROW] >= r.n_row
+        if not r.col_sink:
+            if row_done and not self._sent[CH_COL]:
+                send(CH_COL)
+                self._sent[CH_COL] = True
+            return work
+        col_done = row_done and self._counts[CH_COL] >= r.n_col
+        if not r.root:
+            if col_done and not self._sent[CH_GATHER]:
+                send(CH_GATHER)
+                self._sent[CH_GATHER] = True
+            return work
+        if col_done and self._counts[CH_GATHER] >= 3 and not self._sent[CH_BCAST]:
+            self.result = np.float32(self.acc)
+            rec.obj_set(self, "result", rec.obj_get(self, "acc"))
+            send(CH_BCAST)
+            self._sent[CH_BCAST] = True
+        return work
+
     @property
     def idle(self) -> bool:
         return self.result is not None and not self._tx and not self._inbox
@@ -359,8 +433,12 @@ class AllReduceEngine:
             raise ValueError("AllReduce pattern needs a fabric of at least 2x2")
         self.width = width
         self.height = height
+        self.engine = engine
         self.fabric = Fabric(width, height, queue_capacity)
-        self.fabric.engine = engine
+        # "replay" is an orchestration layer over the active engine: the
+        # first reduce records on the live active-set stepper, later
+        # reduces replay the compiled schedule.
+        self.fabric.engine = "active" if engine == "replay" else engine
         compile_to_fabric(allreduce_pattern(width, height), self.fabric)
         self.cores: list[ReduceCore] = []
         for y in range(height):
@@ -375,6 +453,11 @@ class AllReduceEngine:
         # The collective carries its static contract like every shipped
         # program: exact per-link words per reduce, cycle lower bound.
         self.fabric.static_contract = compute_contract(self.fabric)
+        self.replay = None
+        if engine == "replay":
+            from .replay import ReplaySession
+
+            self.replay = ReplaySession(self.fabric, label="allreduce")
         self.runs = 0
 
     def reduce(self, values: np.ndarray) -> tuple[float, int]:
@@ -385,6 +468,26 @@ class AllReduceEngine:
                 f"values shape {values.shape} does not match the "
                 f"({self.height}, {self.width}) fabric"
             )
+        session = self.replay
+        if session is not None:
+            if session.valid():
+                fabric = self.fabric
+                start = fabric.cycle
+                session.replay({"values": values.ravel()})
+                self.runs += 1
+                results = {float(c.result) for c in self.cores}
+                if len(results) != 1:
+                    raise AssertionError(
+                        f"AllReduce delivered differing results: {results}"
+                    )
+                return results.pop(), fabric.cycle - start
+            if session.enabled:
+                with session.record():
+                    return self._reduce_live(values)
+            session.note_fallback()
+        return self._reduce_live(values)
+
+    def _reduce_live(self, values: np.ndarray) -> tuple[float, int]:
         cores = self.cores
         k = 0
         for y in range(self.height):

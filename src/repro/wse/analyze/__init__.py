@@ -53,6 +53,11 @@ from .races import (
     synthesize_race_program,
 )
 from .routing import cyclic_sccs, forwarding_graph, routes_by_channel, routing_pass
+from .schedule import (
+    DeterminismProof,
+    program_fingerprint,
+    prove_schedule_deterministic,
+)
 from .spec import (
     BUILD_LAUNCH,
     FabricRef,
@@ -96,6 +101,9 @@ __all__ = [
     "routes_by_channel",
     "forwarding_graph",
     "cyclic_sccs",
+    "DeterminismProof",
+    "prove_schedule_deterministic",
+    "program_fingerprint",
     "BUILD_LAUNCH",
     "MemRef",
     "ScalarRef",

@@ -78,6 +78,10 @@ class Core:
         #: The hot path pays exactly one ``is None`` test (like the obs
         #: hook); all shadow tracking lives in :meth:`_step_sanitized`.
         self.sanitizer = None
+        #: Attached :class:`repro.wse.replay.ScheduleRecorder`, or None.
+        #: Same contract as the sanitizer hook: one ``is None`` test on
+        #: the hot path, all taping in :meth:`_step_recorded`.
+        self.recorder = None
         #: True after a cycle in which nothing happened (no task ran, no
         #: instruction advanced or finished); the sleep gate.
         self._quiet = False
@@ -203,6 +207,8 @@ class Core:
         """
         if self.sanitizer is not None:
             return self._step_sanitized()
+        if self.recorder is not None:
+            return self._step_recorded()
         self._stepping = True
         ran = self.scheduler.dispatch(self)
         simd = self._simd
@@ -276,6 +282,56 @@ class Core:
                     occupied.remove(slot)
                     finished += 1
                     san.on_finish(self, instr, slot)
+                    self._fire(instr)
+        self._stepping = False
+        self.elements_processed += processed
+        if processed:
+            self.cycles_active += 1
+        self._quiet = not (processed or ran or finished)
+        return processed
+
+    def _step_recorded(self) -> int:
+        """:meth:`step` with schedule-recorder hooks, same schedule.
+
+        Like the sanitized path, this only observes: ``pre_instr`` taps
+        an instruction's fabric descriptors before its first step and
+        ``on_instr`` records each step's elements after the live
+        arithmetic ran, so a recorded run is bit-identical.
+        """
+        rec = self.recorder
+        self._stepping = True
+        ran = self.scheduler.dispatch(self)
+        simd = self._simd
+        processed = 0
+        finished = 0
+        main = self.main
+        if main:
+            head = main[0]
+            rec.pre_instr(self, head)
+            fn = head._stepfn
+            n = fn(simd) if fn is not None else head.step(simd)
+            if n:
+                rec.on_instr(self, head, n)
+                processed += n
+            if head.finished:
+                main.popleft()
+                finished += 1
+                self._fire(head)
+        occupied = self._occupied
+        if occupied:
+            threads = self.threads
+            for slot in occupied[:]:
+                instr = threads[slot]
+                rec.pre_instr(self, instr)
+                fn = instr._stepfn
+                n = fn(simd) if fn is not None else instr.step(simd)
+                if n:
+                    rec.on_instr(self, instr, n)
+                    processed += n
+                if instr.finished:
+                    threads[slot] = None
+                    occupied.remove(slot)
+                    finished += 1
                     self._fire(instr)
         self._stepping = False
         self.elements_processed += processed

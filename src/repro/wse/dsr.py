@@ -150,6 +150,11 @@ class FabricRx:
     (``.thr``, ``.trig``, ``.act``).
     """
 
+    #: Attached :class:`repro.wse.replay.ScheduleRecorder` while this
+    #: descriptor's instruction is being recorded (set per-instance by
+    #: the recorder, class default None keeps the hot path to one test).
+    _rec = None
+
     def __init__(
         self,
         queue: deque,
@@ -173,7 +178,11 @@ class FabricRx:
 
     def read(self):
         self.pos += 1
-        return self.queue.popleft()
+        word = self.queue.popleft()
+        rec = self._rec
+        if rec is None:
+            return word
+        return rec.on_rx(self, word)
 
     @property
     def done(self) -> bool:
@@ -187,6 +196,9 @@ class FabricTx:
     back-pressure (egress queue full), so an instruction never consumes
     source elements it cannot inject.
     """
+
+    #: See :attr:`FabricRx._rec` — the recorder's write tap.
+    _rec = None
 
     def __init__(
         self,
@@ -210,6 +222,17 @@ class FabricTx:
         return space if space < n else n
 
     def write(self, value) -> bool:
+        rec = self._rec
+        if rec is not None:
+            # Wrap with value provenance; the token is stamped only
+            # after the injection is accepted, so back-pressure
+            # allocates nothing.
+            word = rec.wrap(value)
+            if not self._core.inject(self.channel, word):
+                return False
+            rec.on_tx_ok(self, word)
+            self.pos += 1
+            return True
         if not self._core.inject(self.channel, value):
             return False
         self.pos += 1

@@ -298,6 +298,11 @@ class Fabric:
         #: Managed by :meth:`attach_sanitizer` / :meth:`detach_sanitizer`
         #: (or per-call via ``run(sanitize=True)``).
         self.sanitizer = None
+        #: Count of sanitizer attachments over the fabric's lifetime;
+        #: part of the replay engine's cache-validity token (attaching a
+        #: sanitizer — including ``run(sanitize=True)`` — invalidates
+        #: any compiled schedule).
+        self._sanitize_epoch = 0
         # ---- active sets (coords are (y, x) to match sweep order) ----
         self._active_routers: set[tuple[int, int]] = set()
         self._awake_cores: set[tuple[int, int]] = set()
@@ -1050,6 +1055,11 @@ class Fabric:
         """
         if self.sanitizer is not None:
             raise RuntimeError("a sanitizer is already attached")
+        # Sanitized stepping pre-empts any schedule recording, so a
+        # replay cache built earlier can no longer claim to model what
+        # runs next; bumping the epoch invalidates it (replay sessions
+        # fold this into their mutation token).
+        self._sanitize_epoch += 1
         if sanitizer is None:
             from .sanitizer import RaceSanitizer
 

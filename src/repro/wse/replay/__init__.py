@@ -1,0 +1,38 @@
+"""repro.wse.replay — the trace-compiled replay engine.
+
+The third stepping engine, alongside the active-set and reference
+engines: record one live execution of a kernel's static dataflow
+schedule, compile it into batched NumPy index operations, and replay
+subsequent executions on fresh operand values in a few hundred
+vectorized array ops instead of millions of Python-object steps.
+
+Layers (each its own module):
+
+* :mod:`.record` — :class:`ScheduleRecorder` tapes one live run into an
+  SSA value graph via the engine's public hook points, with exact
+  cross-fabric provenance from :class:`TracedWord` tokens;
+* :mod:`.compile` — :func:`compile_tape` levelizes the graph into a
+  :class:`CompiledSchedule` of batched gather/op/scatter index arrays
+  whose replay is bit-identical to the live engines;
+* :mod:`.engine` — :class:`ReplaySession` gates everything on the
+  analyzer's schedule-determinism proof and a mutation token, falling
+  back to the live engine whenever validity cannot be shown.
+
+Kernel runners expose this as ``engine="replay"``; see
+``docs/simulator_performance.md`` for the recording model and fallback
+rules.
+"""
+
+from .compile import CompiledSchedule, compile_tape
+from .engine import ReplaySession
+from .record import RecordedTape, RecordingError, ScheduleRecorder, TracedWord
+
+__all__ = [
+    "CompiledSchedule",
+    "compile_tape",
+    "ReplaySession",
+    "RecordedTape",
+    "RecordingError",
+    "ScheduleRecorder",
+    "TracedWord",
+]

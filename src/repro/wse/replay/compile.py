@@ -1,0 +1,287 @@
+"""Lowering a recorded tape into a vectorized replay program.
+
+The tape is an SSA value graph in execution order, so every operand id
+is smaller than its consumer's id.  One forward scan levelizes it
+(``level = 1 + max(level of operands)``); nodes are then bucketed by
+``(level, op, operand dtypes, out dtype)`` and each bucket becomes one
+batched NumPy operation over a single float64 value buffer:
+
+    gather leaves -> for each level-group: vals[out] = op(vals[a], vals[b])
+    -> scatter final cell values -> apply counters/flags/obs
+
+float64 staging is exact: every recorded value is an exact fp16 or fp32
+value (both embed losslessly in float64), operands are cast back to
+their recorded dtypes before each op, so each vectorized op performs
+bit-identical IEEE arithmetic to the scalar loop it replaces — the same
+argument :class:`repro.wse.dsr.Instruction` makes for its batched step.
+
+Cycle/word accounting replays as recorded deltas: ``fabric.cycle``,
+``FabricStats``, per-router ``words_moved``, per-core counters, FIFO
+totals, and completion flags all land exactly where a live run would
+leave them, so engine-switch boundaries (``skip_cycles`` after a replay,
+a live run after an invalidation) observe a consistent fabric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .record import (
+    DTYPES,
+    OP_ADD,
+    OP_CAST,
+    OP_CONST,
+    OP_EXTERN,
+    OP_LEAF,
+    OP_MUL,
+    OP_MULX,
+    OP_PEND,
+    RecordedTape,
+    RecordingError,
+)
+
+__all__ = ["CompiledSchedule", "compile_tape"]
+
+
+def compile_tape(tape: RecordedTape, fabric) -> "CompiledSchedule":
+    """Levelize and bucket a recorded tape for vectorized replay."""
+    ops = tape.ops
+    arg_a = tape.arg_a
+    arg_b = tape.arg_b
+    odt = tape.odt
+    n = len(ops)
+    level = [0] * n
+    for i in range(n):
+        op = ops[i]
+        if op == OP_PEND:
+            raise RecordingError("unconsumed fabric word in tape (pending node)")
+        if op in (OP_LEAF, OP_CONST, OP_EXTERN):
+            continue
+        a = arg_a[i]
+        lv = level[a]
+        b = arg_b[i]
+        if b >= 0 and level[b] > lv:
+            lv = level[b]
+        level[i] = lv + 1
+
+    buckets: dict[tuple, tuple[list, list, list]] = {}
+    for i in range(n):
+        op = ops[i]
+        if op in (OP_LEAF, OP_CONST, OP_EXTERN):
+            continue
+        a = arg_a[i]
+        b = arg_b[i]
+        key = (level[i], op, odt[a], odt[b] if b >= 0 else -1, odt[i])
+        bucket = buckets.get(key)
+        if bucket is None:
+            bucket = ([], [], [])
+            buckets[key] = bucket
+        bucket[0].append(a)
+        bucket[1].append(b)
+        bucket[2].append(i)
+
+    groups = []
+    for key in sorted(buckets):
+        ia, ib, io = buckets[key]
+        _lvl, op, dta, dtb, dto = key
+        groups.append((
+            op, dta, dtb, dto,
+            np.asarray(ia, dtype=np.intp),
+            np.asarray(ib, dtype=np.intp),
+            np.asarray(io, dtype=np.intp),
+        ))
+
+    const_idx = np.asarray([i for i, _v in tape.const_vals], dtype=np.intp)
+    const_val = np.asarray([v for _i, v in tape.const_vals], dtype=np.float64)
+
+    mem_gathers = []
+    by_arr: dict[int, tuple[list, list, list]] = {}
+    for nid, ai, cell, val in tape.mem_leaves:
+        entry = by_arr.setdefault(ai, ([], [], []))
+        entry[0].append(cell)
+        entry[1].append(nid)
+        entry[2].append(val)
+    for ai, (cells, nids, vals_) in by_arr.items():
+        mem_gathers.append((
+            tape.arrays[ai],
+            np.asarray(cells, dtype=np.intp),
+            np.asarray(nids, dtype=np.intp),
+            np.asarray(vals_, dtype=np.float64),
+        ))
+
+    ext_gathers = []
+    by_name: dict[str, tuple[list, list, list]] = {}
+    for nid, name, idx, val in tape.ext_leaves:
+        entry = by_name.setdefault(name, ([], [], []))
+        entry[0].append(idx)
+        entry[1].append(nid)
+        entry[2].append(val)
+    for name, (idxs, nids, vals_) in by_name.items():
+        ext_gathers.append((
+            name,
+            np.asarray(idxs, dtype=np.intp),
+            np.asarray(nids, dtype=np.intp),
+            np.asarray(vals_, dtype=np.float64),
+        ))
+
+    scatters = []
+    by_arr = {}
+    for (ai, cell), nid in tape.last_writer.items():
+        entry = by_arr.setdefault(ai, ([], []))
+        entry[0].append(cell)
+        entry[1].append(nid)
+    for ai, (cells, nids) in by_arr.items():
+        scatters.append((
+            tape.arrays[ai],
+            np.asarray(cells, dtype=np.intp),
+            np.asarray(nids, dtype=np.intp),
+        ))
+
+    return CompiledSchedule(
+        fabric=fabric,
+        n_nodes=n,
+        n_groups=len(groups),
+        groups=groups,
+        const_idx=const_idx,
+        const_val=const_val,
+        mem_gathers=mem_gathers,
+        ext_gathers=ext_gathers,
+        scatters=scatters,
+        obj_finals=tape.obj_finals,
+        obj_writes=tape.obj_writes,
+        d_cycle=tape.d_cycle,
+        d_total_words=tape.d_total_words,
+        stepped=tape.stepped,
+        skipped=tape.skipped,
+        words=tape.words,
+        stall=tape.stall,
+        series=tape.series,
+        stats_deltas=tape.stats_deltas,
+        peak_routers=tape.peak_routers,
+        peak_cores=tape.peak_cores,
+        router_deltas=tape.router_deltas,
+        core_deltas=tape.core_deltas,
+        fifo_deltas=tape.fifo_deltas,
+        flag_finals=tape.flag_finals,
+        extern_lengths=tape.extern_lengths,
+    )
+
+
+class CompiledSchedule:
+    """A recorded kernel execution, lowered to batched array ops.
+
+    ``execute(externs)`` re-runs the recorded schedule on fresh operand
+    values and applies all side effects (memory, accumulators, flags,
+    cycle/word counters, obs synthesis) to the recorded fabric.
+    ``check()`` re-evaluates the tape from the *recorded* leaf values
+    and verifies the fabric's current state matches bit-for-bit — the
+    post-recording self-test one-shot runners use.
+    """
+
+    def __init__(self, **kw):
+        self.__dict__.update(kw)
+
+    # ------------------------------------------------------------------
+    def _eval(self, externs=None, recorded_leaves: bool = False) -> np.ndarray:
+        vals = np.empty(self.n_nodes, dtype=np.float64)
+        if len(self.const_idx):
+            vals[self.const_idx] = self.const_val
+        for array, cells, nids, rec_vals in self.mem_gathers:
+            vals[nids] = rec_vals if recorded_leaves else array[cells]
+        for name, idxs, nids, rec_vals in self.ext_gathers:
+            if recorded_leaves:
+                vals[nids] = rec_vals
+            else:
+                if externs is None or name not in externs:
+                    raise KeyError(f"replay requires extern operand {name!r}")
+                vals[nids] = np.asarray(externs[name], dtype=np.float64)[idxs]
+        f32 = np.float32
+        for op, dta, dtb, dto, ia, ib, io in self.groups:
+            if op == OP_CAST:
+                r = vals[ia].astype(DTYPES[dto])
+            else:
+                a = vals[ia]
+                b = vals[ib]
+                if op == OP_MULX:
+                    r = a.astype(f32) * b.astype(f32)
+                else:
+                    a = a.astype(DTYPES[dta])
+                    b = b.astype(DTYPES[dtb])
+                    r = a + b if op == OP_ADD else a * b
+                if r.dtype != DTYPES[dto]:
+                    r = r.astype(DTYPES[dto])
+            vals[io] = r
+        return vals
+
+    # ------------------------------------------------------------------
+    def execute(self, externs=None) -> int:
+        """Replay the schedule; returns the cycle delta applied."""
+        vals = self._eval(externs)
+        for array, cells, nids in self.scatters:
+            array[cells] = vals[nids]
+        for obj, attr, nid, dt in self.obj_finals:
+            setattr(obj, attr, DTYPES[dt].type(vals[nid]))
+        for acc, dwrites in self.obj_writes:
+            acc.writes += dwrites
+        self._apply_accounting()
+        return self.d_cycle
+
+    def _apply_accounting(self) -> None:
+        fabric = self.fabric
+        base = fabric.cycle
+        fabric.cycle = base + self.d_cycle
+        st = fabric.stats
+        for field_name, delta in self.stats_deltas:
+            setattr(st, field_name, getattr(st, field_name) + delta)
+        if st.peak_active_routers < self.peak_routers:
+            st.peak_active_routers = self.peak_routers
+        if st.peak_active_cores < self.peak_cores:
+            st.peak_active_cores = self.peak_cores
+        fabric.total_words_moved += self.d_total_words
+        for router, d in self.router_deltas:
+            router.words_moved += d
+        for core, de, dc in self.core_deltas:
+            core.elements_processed += de
+            core.cycles_active += dc
+        for fifo, dp, hw in self.fifo_deltas:
+            fifo.total_pushed += dp
+            if fifo.high_water < hw:
+                fifo.high_water = hw
+        for core, flags in self.flag_finals:
+            core.flags.update(flags)
+        obs = fabric.obs
+        if obs is not None:
+            fn = getattr(obs, "on_replay", None)
+            if fn is not None:
+                fn(fabric, self.stepped, self.skipped, self.words,
+                   self.stall, [(base + c, w) for c, w in self.series])
+            else:
+                obs.on_skip(self.d_cycle)
+
+    # ------------------------------------------------------------------
+    def check(self) -> list[str]:
+        """Verify the compiled tape reproduces the recorded run.
+
+        Evaluates from the recorded leaf values and compares every
+        scattered cell and object attribute against the fabric's current
+        (post-recording) state.  Returns a list of mismatch reports —
+        empty means the replay is proven bit-identical to the live run
+        it recorded.
+        """
+        vals = self._eval(recorded_leaves=True)
+        bad: list[str] = []
+        for array, cells, nids in self.scatters:
+            got = vals[nids].astype(array.dtype)
+            cur = array[cells]
+            if not np.array_equal(got.view(np.uint8), cur.view(np.uint8)):
+                k = int(np.flatnonzero(got != cur)[0])
+                bad.append(
+                    f"cell {cells[k]} of a {array.dtype} array: "
+                    f"replay={got[k]!r} live={cur[k]!r}"
+                )
+        for obj, attr, nid, dt in self.obj_finals:
+            got = DTYPES[dt].type(vals[nid])
+            cur = getattr(obj, attr)
+            if not (got == cur or (np.isnan(got) and np.isnan(cur))):
+                bad.append(f"{type(obj).__name__}.{attr}: replay={got!r} live={cur!r}")
+        return bad

@@ -1,13 +1,20 @@
-"""Engine equivalence: the active-set engine vs the reference sweep.
+"""Engine equivalence: reference sweep vs active-set vs replay.
 
-The active-set engine (``Fabric.step``) must be *observably identical*
-to the naive full-fabric sweep (``Fabric.step_reference``) — same cycle
-counts, same per-destination word accounting, same delivered-word
-sequences, bit-identical numerics — on every kernel in the repo.  The
-only permitted difference is wall-clock speed.  These tests pin that
-contract on randomized workloads, plus the two satellite behaviours
-that ride on the engine: per-destination fanout accounting and the
-immediate deadlock diagnosis in :meth:`Fabric.run`.
+All three engines must be *observably identical* — same cycle counts,
+same per-destination word accounting, same delivered-word sequences,
+bit-identical numerics — on every kernel in the repo:
+
+* ``reference`` — the naive full-fabric sweep (``Fabric.step_reference``);
+* ``active`` — the event-driven active-set engine (``Fabric.step``);
+* ``replay`` — the trace-compiled engine (:mod:`repro.wse.replay`),
+  which records one live execution and replays the compiled schedule
+  as batched NumPy ops.
+
+The only permitted difference is wall-clock speed.  These tests pin
+that contract on randomized workloads (both SpMV mappings, the two-sum
+task variant, BLAS, AllReduce, and a full BiCGStab solve), plus the
+satellite behaviours that ride on the engine: per-destination fanout
+accounting and the immediate deadlock diagnosis in :meth:`Fabric.run`.
 """
 
 import numpy as np
@@ -110,8 +117,10 @@ class TestKernelEquivalence:
         v = 0.1 * np.random.default_rng(seed).standard_normal(shape)
         u_act, c_act = run_spmv_des(op, v, engine="active")
         u_ref, c_ref = run_spmv_des(op, v, engine="reference")
-        assert c_act == c_ref
+        u_rep, c_rep = run_spmv_des(op, v, engine="replay")
+        assert c_act == c_ref == c_rep
         np.testing.assert_array_equal(u_act, u_ref)
+        np.testing.assert_array_equal(u_act, u_rep)
         assert not dsr.LEGACY_ELEMENTWISE
         dsr.LEGACY_ELEMENTWISE = True
         try:
@@ -131,8 +140,10 @@ class TestKernelEquivalence:
         v = 0.1 * np.random.default_rng(9).standard_normal(shape)
         u_act, c_act = run_spmv2d_des(op, v, block, engine="active")
         u_ref, c_ref = run_spmv2d_des(op, v, block, engine="reference")
-        assert c_act == c_ref
+        u_rep, c_rep = run_spmv2d_des(op, v, block, engine="replay")
+        assert c_act == c_ref == c_rep
         np.testing.assert_array_equal(u_act, u_ref)
+        np.testing.assert_array_equal(u_act, u_rep)
 
     @pytest.mark.parametrize("w,h", [(2, 2), (4, 3), (5, 5), (8, 2)])
     def test_allreduce(self, w, h):
@@ -141,25 +152,76 @@ class TestKernelEquivalence:
         )
         t_act, c_act = simulate_allreduce(vals, engine="active")
         t_ref, c_ref = simulate_allreduce(vals, engine="reference")
-        assert c_act == c_ref
-        assert t_act == t_ref  # bit-identical fp32 reduction
-        eng_a = AllReduceEngine(w, h, engine="active")
-        eng_r = AllReduceEngine(w, h, engine="reference")
-        eng_a.reduce(vals)
-        eng_r.reduce(vals)
-        assert eng_a.fabric.total_words_moved == eng_r.fabric.total_words_moved
+        t_rep, c_rep = simulate_allreduce(vals, engine="replay")
+        assert c_act == c_ref == c_rep
+        assert t_act == t_ref == t_rep  # bit-identical fp32 reduction
+        engines = {
+            name: AllReduceEngine(w, h, engine=name)
+            for name in ("active", "reference", "replay")
+        }
+        words = {}
+        for name, eng in engines.items():
+            eng.reduce(vals)
+            eng.reduce(vals)  # second call replays on the replay engine
+            words[name] = eng.fabric.total_words_moved
+        assert words["active"] == words["reference"] == words["replay"]
 
     def test_blas(self):
         x = np.random.default_rng(1).random(17).astype(np.float16)
         y = np.random.default_rng(2).random(17).astype(np.float16)
-        ra, ca = run_axpy_des(0.7, x, y, engine="active")
-        rr, cr = run_axpy_des(0.7, x, y, engine="reference")
-        assert ca == cr
-        np.testing.assert_array_equal(ra, rr)
-        da, ca = run_dot_des(x, y, engine="active")
-        dr, cr = run_dot_des(x, y, engine="reference")
-        assert ca == cr
-        assert da == dr
+        axpy = {e: run_axpy_des(0.7, x, y, engine=e)
+                for e in ("active", "reference", "replay")}
+        dot = {e: run_dot_des(x, y, engine=e)
+               for e in ("active", "reference", "replay")}
+        ra, ca = axpy["active"]
+        for e in ("reference", "replay"):
+            re_, ce = axpy[e]
+            assert ce == ca
+            np.testing.assert_array_equal(re_, ra)
+        da, ca = dot["active"]
+        for e in ("reference", "replay"):
+            de, ce = dot[e]
+            assert ce == ca
+            assert de == da
+
+    @pytest.mark.parametrize("engine", ["reference", "replay"])
+    def test_spmv3d_two_sum_matrix(self, engine):
+        """The two-sum-task SpMV variant across the engine matrix."""
+        shape = (3, 3, 6)
+        op = _op3d(shape, 31)
+        v = 0.1 * np.random.default_rng(32).standard_normal(shape)
+        u_act, c_act = run_spmv_des(op, v, two_sum_tasks=True,
+                                    engine="active")
+        u_e, c_e = run_spmv_des(op, v, two_sum_tasks=True, engine=engine)
+        assert c_e == c_act
+        np.testing.assert_array_equal(u_e, u_act)
+
+    def test_bicgstab_three_way(self):
+        """Full BiCGStab solves agree bit-for-bit across all three
+        engines: solution, residual history, per-kernel cycles."""
+        from repro.kernels.bicgstab_des import DESBiCGStab
+
+        shape = (3, 3, 6)
+        rng = np.random.default_rng(40)
+        op = Stencil7.from_random(shape, rng=rng)
+        b = rng.standard_normal(shape)
+        pre, bprime, _ = op.jacobi_precondition(b)
+        sols = {
+            e: DESBiCGStab(pre, engine=e).solve(bprime, maxiter=8)
+            for e in ("active", "reference", "replay")
+        }
+        base = sols["active"]
+        for e in ("reference", "replay"):
+            sol = sols[e]
+            np.testing.assert_array_equal(
+                np.asarray(base.x).view(np.uint64),
+                np.asarray(sol.x).view(np.uint64),
+            )
+            assert sol.residuals == base.residuals, e
+            ra, re_ = base.info["report"], sol.info["report"]
+            for f in ("spmv_cycles", "allreduce_cycles", "axpy_cycles",
+                      "dot_local_cycles", "spmv_runs", "allreduce_runs"):
+                assert getattr(re_, f) == getattr(ra, f), (e, f)
 
     def test_delivered_word_sequence(self):
         """Word-by-word delivery order matches on a multi-hop line."""
