@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test lint verify-contracts sanitize check trace bench bench-smoke bench-verbose examples report all clean
+.PHONY: install test lint verify-contracts sanitize check trace profile bench bench-smoke bench-compare bench-verbose examples report all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -40,6 +40,13 @@ check: lint verify-contracts sanitize
 trace:
 	PYTHONPATH=src python -m repro trace
 
+# Profiled DES solve: causal critical-path profile — top bottleneck
+# (phase, tile, wait reason), per-phase slack vs the static contracts,
+# speedscope flamegraph (profile_flame.txt) and a Chrome trace with
+# critical-path tracks (profile_trace.json).  See docs/observability.md.
+profile:
+	PYTHONPATH=src python -m repro profile
+
 # Engine regression smoke: active-set vs pre-PR stepping on a small
 # BiCGStab DES workload; writes BENCH_des.json (cycles/sec, words/sec,
 # fabric size) and fails on any engine-equivalence mismatch.  Drop
@@ -49,12 +56,23 @@ trace:
 # third step times every static-analysis pass (BENCH_analyze.json).
 # The fourth compares the trace-compiled replay engine against the
 # live engines (BENCH_replay.json) and fails on any three-way
-# equivalence mismatch.
+# equivalence mismatch.  The fifth measures the cycle profiler's
+# attached overhead (BENCH_profile.json, <25% gate + conservation).
+# Finally every BENCH_*.json gets a one-line summary appended to the
+# BENCH_history.jsonl ledger (see `make bench-compare`).
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_des_engine.py --quick
 	PYTHONPATH=src python benchmarks/bench_obs_overhead.py --quick
 	PYTHONPATH=src python benchmarks/bench_analyze.py --quick
 	PYTHONPATH=src python benchmarks/bench_replay.py --quick
+	PYTHONPATH=src python benchmarks/bench_profile.py --quick
+	PYTHONPATH=src python -m repro bench-history
+
+# Regression gate: hold the current BENCH_*.json files against the
+# committed BENCH_history.jsonl ledger; fails on a >10% same-host
+# cycles/sec drop (cross-host comparisons warn but never fail).
+bench-compare:
+	PYTHONPATH=src python -m repro bench-compare
 
 bench:
 	pytest benchmarks/ --benchmark-only -q

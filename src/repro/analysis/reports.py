@@ -491,6 +491,13 @@ def verify_contracts_report() -> str:
     return verify_report_text()
 
 
+def profile_solve_report() -> str:
+    """Profiled DES solve: top bottleneck, critical path, slack."""
+    from ..obs.cli import profile_report
+
+    return profile_report()
+
+
 #: CLI dispatch table: name -> report function.
 REPORTS = {
     "headline": headline_report,
@@ -513,4 +520,5 @@ REPORTS = {
     "lint": lint_report,
     "verify-contracts": verify_contracts_report,
     "trace": observed_trace_report,
+    "profile": profile_solve_report,
 }

@@ -31,7 +31,8 @@ def build_parser() -> argparse.ArgumentParser:
         default="list",
         help=(
             "report name, 'list', 'all', 'lint', 'verify-contracts', "
-            "'sanitize', 'trace', or 'write-report' (default: list)"
+            "'sanitize', 'trace', 'profile', 'bench-compare', "
+            "'bench-history', or 'write-report' (default: list)"
         ),
     )
     parser.add_argument(
@@ -66,6 +67,21 @@ def main(argv: list[str] | None = None) -> int:
         from .obs.cli import trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "profile":
+        # `profile` owns --shape/--engine/--flame; same early dispatch.
+        from .obs.cli import profile_main
+
+        return profile_main(argv[1:])
+    if argv and argv[0] == "bench-compare":
+        # `bench-compare` owns --history/--current; same early dispatch.
+        from .analysis.bench_history import compare_main
+
+        return compare_main(argv[1:])
+    if argv and argv[0] == "bench-history":
+        # `bench-history` appends BENCH_*.json summaries to the ledger.
+        from .analysis.bench_history import history_main
+
+        return history_main(argv[1:])
     if argv and argv[0] == "lint":
         # `lint` owns --json; same early dispatch as trace.
         from .wse.analyze.lint import lint_main

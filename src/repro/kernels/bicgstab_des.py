@@ -19,6 +19,21 @@ exactly), each iteration as an enclosing ``iteration[k]`` span carrying
 residual/rho/omega, the persistent fabrics stream per-cycle metrics
 through ``fabric.obs``, and the whole record exports to
 Chrome-trace/Perfetto JSON (see ``docs/observability.md``).
+
+With ``ObsSession(profile=True)`` each persistent fabric additionally
+carries a :class:`repro.obs.profile.CycleProfiler`.  The lockstep
+discipline below is what makes fabric-local profiles composable into a
+solve-wide story: ``_sync_clock`` advances whichever fabric is *not*
+running the current kernel by exactly the other's elapsed cycles (as
+O(1) skipped spans), so both fabrics' clocks equal the unified
+timeline at every phase boundary — a critical-path segment at fabric
+cycle ``c`` therefore lands inside the phase span covering wafer cycle
+``c`` with no translation, which is how ``python -m repro profile``
+names a bottleneck as (fabric, phase, tile, wait reason) and how
+per-phase slack is attributed against each kernel's ``StaticContract``.
+This holds under ``engine="replay"`` too: replayed kernels fold their
+recorded per-cycle ledgers (not re-stepped, bit-identical) and the
+skip/fold boundaries land on the same clock.
 """
 
 from __future__ import annotations

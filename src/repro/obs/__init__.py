@@ -19,16 +19,34 @@ granularity:
 * :mod:`~repro.obs.report` — the Figure 4-style phase table, per-tile
   utilization heatmaps (.npy/CSV), iteration telemetry;
 * :mod:`~repro.obs.trace` — the folded-in ``FabricTrace`` /
-  ``trace_run`` recorder (formerly ``repro.wse.stats``).
+  ``trace_run`` recorder (formerly ``repro.wse.stats``);
+* :mod:`~repro.obs.profile` — :class:`CycleProfiler`, the causal cycle
+  profiler: per-tile wait-state taxonomy (``busy`` / ``wait_rx`` /
+  ``wait_credit`` / ``idle``, conserving every cycle), critical-path
+  extraction, slack attribution against the static contracts, and
+  flamegraph export.
 
-Entry points: ``python -m repro trace`` and ``make trace``; docs in
-``docs/observability.md``.
+Entry points: ``python -m repro trace`` / ``profile`` and ``make
+trace`` / ``make profile``; docs in ``docs/observability.md``.
 """
 
-from .export import chrome_trace_events, write_chrome_trace
+from .export import (
+    chrome_trace_events,
+    collapsed_stacks,
+    write_chrome_trace,
+    write_flamegraph,
+)
 from .fabric_obs import FabricObserver
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .report import export_heatmaps, phase_table, telemetry_table
+from .profile import STATE_NAMES, CycleProfiler
+from .report import (
+    bottleneck_table,
+    export_heatmaps,
+    phase_table,
+    slack_table,
+    telemetry_table,
+    top_bottleneck,
+)
 from .session import ObsSession
 from .span import Span, SpanTracer
 from .trace import FabricTrace, trace_run
@@ -42,11 +60,18 @@ __all__ = [
     "SpanTracer",
     "FabricObserver",
     "ObsSession",
+    "CycleProfiler",
+    "STATE_NAMES",
     "chrome_trace_events",
     "write_chrome_trace",
+    "collapsed_stacks",
+    "write_flamegraph",
     "phase_table",
     "export_heatmaps",
     "telemetry_table",
+    "bottleneck_table",
+    "top_bottleneck",
+    "slack_table",
     "FabricTrace",
     "trace_run",
 ]

@@ -9,10 +9,23 @@ JSON object consumed by ``chrome://tracing`` and https://ui.perfetto.dev:
   them as microseconds; ``otherData.timestamp_unit`` records the truth);
 * tracer counter samples and per-fabric words-per-cycle series become
   counter ("C") events (long series are strided down to a bounded
-  sample count so traces stay loadable);
+  sample count so traces stay loadable; the first and last points of a
+  series are always preserved exactly);
+* harvested report-time metrics — per-fabric ``router_words_moved`` /
+  ``fifo_high_water`` histograms and stall counters — are emitted as
+  counter tracks so Perfetto shows them alongside the spans (and the
+  full registry still lands in ``otherData.metrics``);
+* when the session profiled (``ObsSession(profile=True)``), each
+  fabric's critical path becomes a highlight track of "X" events
+  (``cat="critical_path"``) naming the tile, wait state, and blamed
+  channel per segment;
 * tracks map to thread ids with human-readable ``thread_name``
   metadata, so phases, per-kernel windows, and per-fabric activity land
   on separate swimlanes of one timeline.
+
+:func:`write_flamegraph` exports the profiler's wait-state stacks in
+collapsed-stack format (one ``frame;frame;frame count`` line per stack),
+loadable by speedscope and Brendan Gregg's ``flamegraph.pl``.
 """
 
 from __future__ import annotations
@@ -20,24 +33,94 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-__all__ = ["chrome_trace_events", "write_chrome_trace"]
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "collapsed_stacks",
+    "write_flamegraph",
+]
 
 #: Cap on exported points per counter series; longer series are strided.
 MAX_COUNTER_SAMPLES = 4000
 
 
 def _counter_events(name, pairs, tid):
-    """(cycle, value) pairs -> strided "C" events."""
+    """(cycle, value) pairs -> strided "C" events.
+
+    The first and last points are always emitted exactly (a strided tail
+    would otherwise drop the final value, which is the one number — the
+    run's end state — a reader most wants); at most
+    ``MAX_COUNTER_SAMPLES + 1`` events result.
+    """
     n = len(pairs)
     if not n:
         return []
-    stride = -(-n // MAX_COUNTER_SAMPLES)  # ceil: stays under the cap
+    if n <= MAX_COUNTER_SAMPLES:
+        idxs = range(n)
+    else:
+        stride = -(-(n - 1) // (MAX_COUNTER_SAMPLES - 1))
+        idxs = list(range(0, n, stride))
+        if idxs[-1] != n - 1:
+            idxs.append(n - 1)
     events = []
-    for i in range(0, n, stride):
+    for i in idxs:
         cycle, value = pairs[i]
         events.append({
             "name": name, "ph": "C", "ts": int(cycle), "pid": 0,
             "tid": tid, "args": {"value": value},
+        })
+    return events
+
+
+def _harvested_metric_events(session, fname, end_cycle, tid):
+    """Report-time metric snapshots for one fabric as counter events."""
+    events = []
+    reg = session.metrics.as_dict()
+    for base, keys in (
+        (f"{fname}.router_words_moved", ("sum", "max")),
+        (f"{fname}.fifo_high_water", ("max", "mean")),
+    ):
+        h = reg.get(base)
+        if not h or not h.get("count"):
+            continue
+        args = {k: h[k] for k in keys if h.get(k) is not None}
+        if not args:
+            continue
+        for ts in (0, end_cycle):
+            events.append({
+                "name": base, "ph": "C", "ts": int(ts), "pid": 0,
+                "tid": tid, "args": dict(args),
+            })
+    stall = reg.get(f"{fname}.core_stall_cycles", {})
+    value = stall.get("value") if isinstance(stall, dict) else None
+    if value:
+        for ts in (0, end_cycle):
+            events.append({
+                "name": f"{fname}.core_stall_cycles", "ph": "C",
+                "ts": int(ts), "pid": 0, "tid": tid,
+                "args": {"value": value},
+            })
+    return events
+
+
+def _critical_path_events(prof, tid):
+    """One "X" highlight event per critical-path segment."""
+    events = []
+    for seg in prof.critical_path_fabric():
+        tile = seg["tile"]
+        label = seg["state"] if tile is None else (
+            f"{seg['state']}@{tile[0]},{tile[1]}"
+        )
+        args = {"tile": list(tile) if tile else None,
+                "state": seg["state"], "cycles": seg["cycles"]}
+        if seg["channel"] is not None:
+            args["channel"] = seg["channel"]
+        if seg["skipped"]:
+            args["skipped"] = True
+        events.append({
+            "name": label, "cat": "critical_path", "ph": "X",
+            "ts": seg["start"], "dur": seg["cycles"], "pid": 0,
+            "tid": tid, "args": args,
         })
     return events
 
@@ -75,6 +158,14 @@ def chrome_trace_events(session) -> list[dict]:
                 f"{fname}.words_per_cycle", obs.series,
                 tid_of(f"fabric:{fname}"),
             ))
+        events.extend(_harvested_metric_events(
+            session, fname, obs.fabric.cycle,
+            tid_of(f"metrics:{fname}"),
+        ))
+    for pname, prof in getattr(session, "profiles", {}).items():
+        events.extend(_critical_path_events(
+            prof, tid_of(f"critical-path:{pname}"),
+        ))
     for track, tid in tids.items():
         events.append({
             "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
@@ -100,4 +191,25 @@ def write_chrome_trace(session, path) -> Path:
     }
     path = Path(path)
     path.write_text(json.dumps(payload) + "\n")
+    return path
+
+
+def collapsed_stacks(session) -> dict[str, int]:
+    """Merged ``stack -> cycles`` over every profiled fabric, with phase
+    spans (when the session traced any) as root frames."""
+    phases = session.phase_spans() if hasattr(session, "phase_spans") else None
+    stacks: dict[str, int] = {}
+    for prof in getattr(session, "profiles", {}).values():
+        for stack, n in prof.collapsed_stacks(phases or None).items():
+            stacks[stack] = stacks.get(stack, 0) + n
+    return stacks
+
+
+def write_flamegraph(session, path) -> Path:
+    """Write collapsed wait-state stacks (speedscope / flamegraph.pl
+    compatible): one ``phase;fabric;tile;state cycles`` line each."""
+    stacks = collapsed_stacks(session)
+    path = Path(path)
+    lines = [f"{stack} {n}" for stack, n in sorted(stacks.items())]
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
     return path

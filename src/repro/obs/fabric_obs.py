@@ -54,6 +54,16 @@ class FabricObserver:
         self._c_stall = metrics.counter(f"{name}.core_stall_cycles")
         self._g_occ = metrics.gauge(f"{name}.router_queue_occupancy")
         self._h_active = metrics.histogram(f"{name}.active_routers")
+        #: Per-core ``cycles_active`` at attach: utilization normalizes
+        #: to the *observed* window.  A core can carry busy cycles from
+        #: runs before observation started (warm-ups, a prior session);
+        #: dividing the raw counter by this observer's stepped cycles
+        #: would over-count those tiles.
+        self._busy0: dict[int, int] = {}
+        for row in fabric.cores:
+            for core in row:
+                if core is not None:
+                    self._busy0[id(core)] = getattr(core, "cycles_active", 0)
 
     # ------------------------------------------------------------------
     # Simulator callbacks (the only per-cycle surface)
@@ -136,20 +146,27 @@ class FabricObserver:
         """Per-tile utilization heatmaps (the .npy/CSV export payload).
 
         ``router_words``: cumulative words each router delivered.
-        ``core_busy``: fraction of stepped cycles each core processed
-        at least one element (0 for tiles without a core).
+        ``core_busy``: fraction of *observed* stepped cycles each core
+        processed at least one element (0 for tiles without a core).
+        Busy cycles accumulated before this observer attached are
+        excluded, so mixing live and replayed runs — or observing a
+        fabric after a warm-up — cannot push the fraction past the
+        window's share.
         """
         fabric = self.fabric
         h, w = fabric.height, fabric.width
         words = np.zeros((h, w), dtype=np.int64)
         busy = np.zeros((h, w), dtype=np.float64)
         stepped = max(self._c_stepped.value, 1)
+        busy0 = self._busy0
         for y in range(h):
             for x in range(w):
                 words[y, x] = fabric.routers[y][x].words_moved
                 core = fabric.cores[y][x]
                 if core is not None:
-                    busy[y, x] = getattr(core, "cycles_active", 0) / stepped
+                    active = (getattr(core, "cycles_active", 0)
+                              - busy0.get(id(core), 0))
+                    busy[y, x] = active / stepped
         return {"router_words": words, "core_busy": busy}
 
     # ------------------------------------------------------------------

@@ -11,6 +11,18 @@ Three consumers of a recorded :class:`~repro.obs.ObsSession`:
   moved, core busy fraction) written as ``.npy`` and ``.csv``.
 * :func:`telemetry_table` — solver-level iteration telemetry (residual,
   rho, omega, breakdown flags) as a printable table.
+
+When the session profiled (``ObsSession(profile=True)``) two more views
+become available:
+
+* :func:`bottleneck_table` / :func:`top_bottleneck` — the critical
+  path's cycles aggregated by (fabric, phase, wait state, tile,
+  channel), largest first, so the single answer to "where did the time
+  go?" is the first row;
+* :func:`slack_table` — the measured-minus-bound slack of each profiled
+  fabric against its :class:`~repro.wse.analyze.contracts.StaticContract`
+  lower bound, decomposed per phase into named wait components that sum
+  *exactly* to the slack (asserted by the test suite).
 """
 
 from __future__ import annotations
@@ -19,7 +31,14 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["phase_table", "export_heatmaps", "telemetry_table"]
+__all__ = [
+    "phase_table",
+    "export_heatmaps",
+    "telemetry_table",
+    "bottleneck_table",
+    "top_bottleneck",
+    "slack_table",
+]
 
 
 def phase_table(session, iterations: int | None = None,
@@ -77,6 +96,163 @@ def export_heatmaps(session, prefix) -> list[Path]:
             np.savetxt(csv, grid, delimiter=",", fmt=fmt)
             written.extend([npy, csv])
     return written
+
+
+def _format_table(title, header, rows) -> str:
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+              for i in range(len(header))]
+    lines = [title,
+             "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+             "  ".join("-" * w for w in widths)]
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _split_by_phases(phases, start, dur):
+    """Intersect ``[start, start+dur)`` with sorted, non-overlapping
+    ``(lo, hi, name)`` phase spans; yields ``(name_or_None, cycles)``
+    pieces that partition the window exactly (``None`` = no phase)."""
+    if not phases:
+        yield None, dur
+        return
+    t, hi = start, start + dur
+    for plo, phi, pname in phases:
+        if phi <= t:
+            continue
+        if plo >= hi:
+            break
+        if plo > t:
+            yield None, plo - t
+            t = plo
+        take = min(phi, hi) - t
+        if take > 0:
+            yield pname, take
+            t += take
+        if t >= hi:
+            break
+    if t < hi:
+        yield None, hi - t
+
+
+def _path_aggregate(session) -> tuple[dict, int]:
+    """``(fabric, phase, state, tile, channel) -> cycles`` over every
+    profiled fabric's critical path, plus the grand total."""
+    phases = session.phase_spans()
+    agg: dict = {}
+    grand = 0
+    for fname, prof in sorted(session.profiles.items()):
+        for seg in prof.critical_path_fabric():
+            state = "idle_skipped" if seg["skipped"] else seg["state"]
+            tile = seg["tile"]
+            tile_s = f"({tile[0]},{tile[1]})" if tile else "-"
+            chan = seg["channel"]
+            chan_s = str(chan) if chan is not None and chan >= 0 else "-"
+            for pname, n in _split_by_phases(phases, seg["start"],
+                                             seg["cycles"]):
+                key = (fname, pname or "-", state, tile_s, chan_s)
+                agg[key] = agg.get(key, 0) + n
+                grand += n
+    return agg, grand
+
+
+def top_bottleneck(session) -> dict | None:
+    """The critical path's single largest (fabric, phase, state, tile,
+    channel) bucket — ``None`` when nothing was profiled.  ``busy``
+    buckets (progress, not a stall) and ``idle_skipped`` buckets (one
+    fabric fast-forwarded while another worked — a shadow of the other
+    fabric's segments, not a cause) are deprioritized: the *bottleneck*
+    named here is where progress stalled."""
+    agg, grand = _path_aggregate(session)
+    if not agg:
+        return None
+    ranked = sorted(agg.items(), key=lambda kv: -kv[1])
+    pick = next(
+        (kv for kv in ranked if kv[0][2] not in ("busy", "idle_skipped")),
+        ranked[0],
+    )
+    (fabric, phase, state, tile, chan), cycles = pick
+    return {
+        "fabric": fabric, "phase": phase, "state": state, "tile": tile,
+        "channel": chan, "cycles": cycles,
+        "share": cycles / grand if grand else 0.0,
+    }
+
+
+def bottleneck_table(session, top: int = 10,
+                     title: str = "critical-path bottlenecks") -> str:
+    """Rank where the run's critical path spent its cycles.
+
+    Each row is one (fabric, phase, wait state, tile, channel) bucket of
+    the causal critical path; rows sum to the full path — i.e. to each
+    profiled fabric's elapsed cycles — so shares are shares of the
+    explained wall clock, not of a sample."""
+    if not getattr(session, "profiles", None):
+        return f"{title}: no profiler attached (use ObsSession(profile=True))"
+    agg, grand = _path_aggregate(session)
+    ranked = sorted(agg.items(), key=lambda kv: -kv[1])
+    rows = []
+    for (fname, pname, state, tile_s, chan_s), n in ranked[:top]:
+        rows.append([fname, pname, state, tile_s, chan_s, str(n),
+                     f"{100.0 * n / grand:.1f}%"])
+    rest = sum(n for _k, n in ranked[top:])
+    if rest:
+        rows.append(["(other)", "", "", "", "", str(rest),
+                     f"{100.0 * rest / grand:.1f}%"])
+    rows.append(["total", "", "", "", "", str(grand), "100.0%"])
+    header = ["fabric", "phase", "state", "tile", "chan", "cycles", "share"]
+    return _format_table(title, header, rows)
+
+
+def slack_table(session, bounds: dict,
+                title: str = "slack attribution vs static contracts") -> str:
+    """Decompose each profiled fabric's slack over its contract bound.
+
+    ``bounds`` maps profiler name -> ``(cycle_lower_bound,
+    observed_cycles)`` (the bound already scaled by run count).  Per
+    fabric, the critical path's wait cycles are split across phase
+    spans; together with ``compute_overhang`` (path compute beyond the
+    bound, possibly negative) and ``skipped_idle`` (fast-forwarded
+    cycles inside ``observed``) the rows sum exactly to
+    ``observed - bound``."""
+    profiles = getattr(session, "profiles", None)
+    if not profiles:
+        return f"{title}: no profiler attached (use ObsSession(profile=True))"
+    phases = session.phase_spans()
+    blocks = [title]
+    for fname in sorted(profiles):
+        entry = bounds.get(fname)
+        if entry is None:
+            continue
+        bound, observed = entry
+        prof = profiles[fname]
+        comp = prof.slack_attribution(bound, observed=observed)
+        per: dict = {}
+        for seg in prof.critical_path_fabric():
+            if seg["skipped"] or seg["state"] == "busy":
+                continue
+            for pname, n in _split_by_phases(phases, seg["start"],
+                                             seg["cycles"]):
+                row = per.setdefault(
+                    pname or "-",
+                    {"wait_rx": 0, "wait_credit": 0, "idle": 0},
+                )
+                row[seg["state"]] += n
+        rows = []
+        for pname in sorted(per, key=lambda p: -sum(per[p].values())):
+            r = per[pname]
+            rows.append([pname, str(r["wait_rx"]), str(r["wait_credit"]),
+                         str(r["idle"]), str(sum(r.values()))])
+        rows.append(["compute_overhang", "", "", "",
+                     str(comp["compute_overhang"])])
+        rows.append(["skipped_idle", "", "", "", str(comp["skipped_idle"])])
+        slack = observed - bound
+        rows.append(["total", "", "", "", str(slack)])
+        header = ["phase", "wait_rx", "wait_credit", "idle", "slack"]
+        blocks.append(_format_table(
+            f"{fname}: observed {observed} cycles vs bound {bound} "
+            f"(slack {slack})", header, rows))
+    return "\n\n".join(blocks)
 
 
 def telemetry_table(session, title: str = "iteration telemetry") -> str:

@@ -265,6 +265,9 @@ class ReduceCore:
         #: Attached :class:`repro.wse.replay.ScheduleRecorder`, or None
         #: (same one-``is None``-test contract as :class:`Core`).
         self.recorder = None
+        #: Attached :class:`repro.obs.profile.TileProfile`, or None
+        #: (one ``is None`` test in :meth:`step` when detached).
+        self.profiler = None
 
     def reset(self, value: float) -> None:
         """Re-arm the core for another collective on the same fabric."""
@@ -304,7 +307,18 @@ class ReduceCore:
         work = self._advance()
         # Sleepable once a step neither consumed nor produced anything:
         # only a delivery (which re-wakes the core) can change its state.
-        self._quiet = work == 0 and len(self._tx) == sent_before
+        quiet = work == 0 and len(self._tx) == sent_before
+        self._quiet = quiet
+        tp = self.profiler
+        if tp is not None:
+            if not quiet:
+                tp.account(0, -1)            # busy: consumed or produced
+            elif self._tx:
+                tp.account(2, self._tx[0][0])  # egress waiting on the router
+            elif not self.idle:
+                tp.account(1, -1)            # awaiting upstream partials
+            else:
+                tp.account(3, -1)
         return work
 
     def can_sleep(self) -> bool:

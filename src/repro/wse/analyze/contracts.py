@@ -87,6 +87,32 @@ class StaticContract:
         """``(x, y, channel, out_port) -> words`` as a dict."""
         return {(x, y, c, p): w for x, y, c, p, w in self.link_words}
 
+    def core_delivery_map(self) -> dict:
+        """``(x, y) -> words delivered to the core`` (the ``"C"``-port
+        subset of :meth:`link_words_map`, summed over channels).  These
+        are the words a tile must *receive* before it can finish — the
+        static counterpart of the profiler's ``wait_rx`` blame."""
+        out: dict = {}
+        for x, y, _c, port, w in self.link_words:
+            if port == "C":
+                out[(x, y)] = out.get((x, y), 0) + w
+        return out
+
+    def scaled_lower_bound(self, runs: int = 1) -> int:
+        """Cycle lower bound for ``runs`` back-to-back runs.
+
+        Persistent engines repeat the same program, so the provable
+        minimum scales linearly; this is the ``bound`` that
+        :mod:`~repro.wse.analyze.verify_contracts` and the cycle
+        profiler's slack attribution measure observed runs against."""
+        return self.cycle_lower_bound * runs
+
+    def slack(self, observed_cycles: int, runs: int = 1) -> int:
+        """``observed - scaled bound`` — never negative for a sound
+        bound.  The profiler's ``slack_attribution`` decomposes exactly
+        this number into named wait-state components."""
+        return int(observed_cycles) - self.scaled_lower_bound(runs)
+
     # -- serialization -------------------------------------------------
     def as_dict(self) -> dict:
         return {

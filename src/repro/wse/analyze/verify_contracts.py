@@ -15,6 +15,22 @@ observations against the program's :class:`StaticContract`:
   contract's critical-path lower bound; the slack (measured minus
   bound) is reported, never hidden.
 
+With ``profile=True`` (CLI: ``--profile``) each program additionally
+runs under the PR 8 :class:`~repro.obs.profile.CycleProfiler` and the
+reported slack is *decomposed*: the critical path's ``wait_rx`` /
+``wait_credit`` / ``idle`` cycles, the path's compute beyond the bound
+(``compute_overhang``), and fast-forwarded ``skipped_idle`` sum exactly
+to ``observed - bound`` (:attr:`ContractCheck.slack_breakdown_ok` is
+part of every check's verdict).
+
+``engine="replay"`` drives each program through the PR 7 record/replay
+layer: persistent engines (3D SpMV, AllReduce, BiCGStab) record one
+live execution and replay the measured one as compiled NumPy schedules;
+one-shot programs record their single run and prove the compiled
+schedule reproduces it bit-for-bit.  Contract words and cycles — and
+the profiler's conservation and slack identities — are checked against
+the same expectations as a live run.
+
 The checked set covers every shipped program family: 3D SpMV (mesh and
 degenerate single-tile), 2D block-mapped SpMV, both core-local BLAS
 kernels, the Fig. 6 AllReduce, and a full BiCGStab iteration in DES
@@ -56,6 +72,11 @@ class ContractCheck:
     cycle_lower_bound: int
     observed_cycles: int
     cdg_clean: bool
+    #: Profiled slack decomposition as sorted ``(component, cycles)``
+    #: pairs (empty when the check ran unprofiled).  Excluded from
+    #: :meth:`key`: the same program profiled or not — or under a
+    #: different engine — must still compare equal.
+    slack_breakdown: tuple = ()
 
     @property
     def words_ok(self) -> bool:
@@ -74,8 +95,15 @@ class ContractCheck:
         return self.observed_cycles - self.cycle_lower_bound
 
     @property
+    def slack_breakdown_ok(self) -> bool:
+        """The decomposition must account for the slack *exactly*."""
+        return (not self.slack_breakdown
+                or sum(v for _k, v in self.slack_breakdown) == self.slack)
+
+    @property
     def ok(self) -> bool:
-        return self.words_ok and self.cycles_ok and self.cdg_clean
+        return (self.words_ok and self.cycles_ok and self.cdg_clean
+                and self.slack_breakdown_ok)
 
     def key(self) -> tuple:
         """Engine-independent identity (the cross-engine equality key)."""
@@ -102,7 +130,22 @@ class ContractCheck:
                 for (x, y), e, o in self.router_mismatches[:4]
             )
             line += f"; per-router mismatches: {shown}"
+        if self.slack_breakdown:
+            parts = ", ".join(
+                f"{k}={v}" for k, v in self.slack_breakdown if v
+            ) or "all zero"
+            tick = "=" if self.slack_breakdown_ok else "!="
+            line += f"\n{'':<25}slack {tick} {parts}"
         return line
+
+
+def _slack_breakdown(session, obs_name, bound, observed, mark=None) -> tuple:
+    """Profiled slack decomposition for one check (empty unprofiled)."""
+    prof = session.profiles.get(obs_name)
+    if prof is None:
+        return ()
+    comp = prof.slack_attribution(bound, observed=observed, mark=mark)
+    return tuple(sorted(comp.items()))
 
 
 def _check_fabric(
@@ -114,6 +157,7 @@ def _check_fabric(
     runs: int,
     observed_cycles: int,
     bound: int,
+    mark=None,
 ) -> ContractCheck:
     expected_map = {
         coord: words * runs for coord, words in contract.router_words_map().items()
@@ -138,6 +182,8 @@ def _check_fabric(
         cycle_lower_bound=bound,
         observed_cycles=observed_cycles,
         cdg_clean=not cdg_pass(fabric) and not contract.cdg_cycles,
+        slack_breakdown=_slack_breakdown(
+            session, obs_name, bound, observed_cycles, mark=mark),
     )
 
 
@@ -152,15 +198,21 @@ def _contract_of(fabric) -> StaticContract:
     return contract
 
 
-def _check_spmv3d(engine: str, shape=(3, 3, 6)):
+def _check_spmv3d(engine: str, shape=(3, 3, 6), profile: bool = False):
     from ...kernels.spmv3d import SpmvEngine
     from ...problems.stencil7 import Stencil7
 
     op, _b, _dinv = Stencil7.from_random(shape).jacobi_precondition()
-    session = ObsSession()
+    session = ObsSession(profile=profile)
     eng = SpmvEngine(op, engine=engine, obs=session)
     n = int(np.prod(shape))
     v = np.linspace(-1.0, 1.0, n).reshape(shape)
+    if engine == "replay":
+        # The first run records; run again so the measured run below is
+        # a true compiled replay (word/cycle deltas folded, not stepped).
+        eng.run(v)
+    prof = session.profiles.get("spmv")
+    mark = prof.mark() if prof is not None else None
     _u, cycles = eng.run(v)
     name = "x".join(str(s) for s in shape)
     contract = _contract_of(eng.fabric)
@@ -169,10 +221,40 @@ def _check_spmv3d(engine: str, shape=(3, 3, 6)):
         runs=eng.runs + 1,  # the build's warm-up run moved the same words
         observed_cycles=cycles,
         bound=contract.cycle_lower_bound,
+        mark=mark,
     )
 
 
-def _check_spmv3d_two_sum(engine: str, shape=(3, 3, 6)):
+def _run_oneshot(fabric, finished, engine: str, label: str,
+                 max_cycles: int = 200_000) -> None:
+    """Run a one-shot program to completion under ``engine``.
+
+    ``"replay"`` records the single live execution through the PR 7
+    recorder and proves the compiled schedule reproduces it
+    bit-for-bit (the one-shot pattern of ``run_spmv_des``)."""
+    if engine == "replay":
+        from ...wse.replay import ReplaySession
+
+        fabric.engine = "active"
+        session = ReplaySession(fabric, label=label)
+        if session.enabled:
+            with session.record():
+                fabric.run(max_cycles=max_cycles, until=finished)
+            if session.schedule is not None:
+                bad = session.schedule.check()
+                if bad:
+                    raise AssertionError(
+                        "replay self-check diverged from the live run: "
+                        + "; ".join(bad[:5])
+                    )
+            return
+    else:
+        fabric.engine = engine
+    fabric.run(max_cycles=max_cycles, until=finished)
+
+
+def _check_spmv3d_two_sum(engine: str, shape=(3, 3, 6),
+                          profile: bool = False):
     """The two-sum-tasks SpMV variant (no persistent-engine wrapper)."""
     from ...kernels.spmv3d import build_spmv_fabric
     from ...problems.stencil7 import Stencil7
@@ -181,8 +263,7 @@ def _check_spmv3d_two_sum(engine: str, shape=(3, 3, 6)):
     n = int(np.prod(shape))
     v = np.linspace(-1.0, 1.0, n).reshape(shape)
     fabric, programs = build_spmv_fabric(op, v, two_sum_tasks=True)
-    fabric.engine = engine
-    session = ObsSession()
+    session = ObsSession(profile=profile)
     session.observe_fabric("spmv3d-two-sum", fabric)
     nx, ny, _nz = op.shape
     start = fabric.cycle
@@ -192,7 +273,7 @@ def _check_spmv3d_two_sum(engine: str, shape=(3, 3, 6)):
             programs[j][i].done for j in range(ny) for i in range(nx)
         )
 
-    fabric.run(max_cycles=200_000, until=finished)
+    _run_oneshot(fabric, finished, engine, "spmv3d-two-sum")
     contract = _contract_of(fabric)
     name = "x".join(str(s) for s in shape)
     return _check_fabric(
@@ -202,14 +283,15 @@ def _check_spmv3d_two_sum(engine: str, shape=(3, 3, 6)):
     )
 
 
-def _check_spmv2d(engine: str, shape=(6, 6), block_shape=(3, 3)):
+def _check_spmv2d(engine: str, shape=(6, 6), block_shape=(3, 3),
+                  profile: bool = False):
     from ...kernels.spmv2d_des import run_spmv2d_des
     from ...problems.stencil9 import Stencil9
 
     op, _b, _dinv = Stencil9.from_random(shape).jacobi_precondition()
     n = int(np.prod(shape))
     v = np.linspace(1.0, -1.0, n).reshape(shape)
-    session = ObsSession()
+    session = ObsSession(profile=profile)
     _u, cycles = run_spmv2d_des(op, v, block_shape, engine=engine, obs=session)
     fabric = session.fabrics["spmv2d"].fabric
     contract = _contract_of(fabric)
@@ -220,7 +302,8 @@ def _check_spmv2d(engine: str, shape=(6, 6), block_shape=(3, 3)):
     )
 
 
-def _check_blas(engine: str, kernel: str = "axpy", n: int = 32):
+def _check_blas(engine: str, kernel: str = "axpy", n: int = 32,
+                profile: bool = False):
     from ...kernels.blas_des import build_axpy_fabric, build_dot_fabric
 
     x = np.linspace(-1, 1, n)
@@ -229,14 +312,13 @@ def _check_blas(engine: str, kernel: str = "axpy", n: int = 32):
         fabric, _out, instr = build_axpy_fabric(0.5, x, y)
     else:
         fabric, _acc, instr = build_dot_fabric(x, y)
-    fabric.engine = engine
-    session = ObsSession()
+    session = ObsSession(profile=profile)
     session.observe_fabric(kernel, fabric)
     start = fabric.cycle
-    while not instr.finished:
-        fabric.step()
-        if fabric.cycle - start > 10 * n + 10:  # pragma: no cover
-            raise RuntimeError(f"{kernel} program did not finish")
+    _run_oneshot(fabric, lambda f: instr.finished, engine, kernel,
+                 max_cycles=10 * n + 10)
+    if not instr.finished:  # pragma: no cover
+        raise RuntimeError(f"{kernel} program did not finish")
     contract = _contract_of(fabric)
     return _check_fabric(
         f"{kernel}-{n}", fabric, contract, session, kernel,
@@ -245,23 +327,33 @@ def _check_blas(engine: str, kernel: str = "axpy", n: int = 32):
     )
 
 
-def _check_allreduce(engine: str, width: int = 6, height: int = 4):
+def _check_allreduce(engine: str, width: int = 6, height: int = 4,
+                     profile: bool = False):
     from ...wse.allreduce import AllReduceEngine
 
     eng = AllReduceEngine(width, height, engine=engine)
-    session = ObsSession()
+    session = ObsSession(profile=profile)
     session.observe_fabric("allreduce", eng.fabric)
     values = np.arange(width * height, dtype=np.float64).reshape(height, width)
+    runs = 1
+    if engine == "replay":
+        # First reduce records; the measured reduce below is a replay.
+        eng.reduce(values)
+        runs = 2
+    prof = session.profiles.get("allreduce")
+    mark = prof.mark() if prof is not None else None
     _total, cycles = eng.reduce(values)
     contract = _contract_of(eng.fabric)
     return _check_fabric(
         f"allreduce-{width}x{height}", eng.fabric, contract, session,
-        "allreduce", runs=1, observed_cycles=cycles,
+        "allreduce", runs=runs, observed_cycles=cycles,
         bound=contract.cycle_lower_bound,
+        mark=mark,
     )
 
 
-def _check_bicgstab(engine: str, shape=(2, 2, 4), maxiter: int = 1):
+def _check_bicgstab(engine: str, shape=(2, 2, 4), maxiter: int = 1,
+                    profile: bool = False):
     """One full DES BiCGStab iteration: verify both persistent fabrics.
 
     Word counts must equal ``runs x contract`` on each fabric (the SpMV
@@ -274,7 +366,7 @@ def _check_bicgstab(engine: str, shape=(2, 2, 4), maxiter: int = 1):
     from ...problems import momentum_system
 
     system = momentum_system(shape, reynolds=50.0, dt=0.02)
-    session = ObsSession()
+    session = ObsSession(profile=profile)
     solver = DESBiCGStab(system.operator, engine=engine, obs=session)
     solver.solve(system.b, rtol=1e-30, maxiter=maxiter)
     report = solver.report
@@ -287,7 +379,7 @@ def _check_bicgstab(engine: str, shape=(2, 2, 4), maxiter: int = 1):
     checks.append(_check_fabric(
         f"bicgstab[{maxiter}it]-spmv", spmv_fabric, spmv_contract, session,
         "spmv", runs=spmv_runs, observed_cycles=stepped,
-        bound=spmv_contract.cycle_lower_bound * spmv_runs,
+        bound=spmv_contract.scaled_lower_bound(spmv_runs),
     ))
 
     ar_fabric = solver._ar_eng.fabric
@@ -296,30 +388,35 @@ def _check_bicgstab(engine: str, shape=(2, 2, 4), maxiter: int = 1):
     checks.append(_check_fabric(
         f"bicgstab[{maxiter}it]-allreduce", ar_fabric, ar_contract, session,
         "allreduce", runs=report.allreduce_runs, observed_cycles=stepped,
-        bound=ar_contract.cycle_lower_bound * report.allreduce_runs,
+        bound=ar_contract.scaled_lower_bound(report.allreduce_runs),
     ))
     return checks
 
 
-def verify_contracts(engine: str = "active") -> list[ContractCheck]:
-    """Run every shipped program under ``engine`` and check its contract."""
+def verify_contracts(engine: str = "active",
+                     profile: bool = False) -> list[ContractCheck]:
+    """Run every shipped program under ``engine`` and check its contract.
+
+    ``profile=True`` attaches the cycle profiler to every run and fills
+    each check's :attr:`ContractCheck.slack_breakdown`."""
     checks = [
-        _check_spmv3d(engine),
-        _check_spmv3d_two_sum(engine),
-        _check_spmv3d(engine, shape=(1, 1, 8)),
-        _check_spmv2d(engine),
-        _check_blas(engine, "axpy"),
-        _check_blas(engine, "dot"),
-        _check_allreduce(engine),
+        _check_spmv3d(engine, profile=profile),
+        _check_spmv3d_two_sum(engine, profile=profile),
+        _check_spmv3d(engine, shape=(1, 1, 8), profile=profile),
+        _check_spmv2d(engine, profile=profile),
+        _check_blas(engine, "axpy", profile=profile),
+        _check_blas(engine, "dot", profile=profile),
+        _check_allreduce(engine, profile=profile),
     ]
-    checks.extend(_check_bicgstab(engine))
+    checks.extend(_check_bicgstab(engine, profile=profile))
     return checks
 
 
-def verify_report_text(engine: str = "active") -> str:
+def verify_report_text(engine: str = "active", profile: bool = False) -> str:
     """The full verification report as printable text."""
-    checks = verify_contracts(engine)
-    lines = [f"contract verification (engine={engine})"]
+    checks = verify_contracts(engine, profile=profile)
+    lines = [f"contract verification (engine={engine}"
+             + (", profiled)" if profile else ")")]
     lines.extend(f"  {c.summary()}" for c in checks)
     n_bad = sum(not c.ok for c in checks)
     lines.append(
@@ -340,16 +437,24 @@ def verify_main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
-        "--engine", choices=("active", "reference", "both"),
-        default="active", help="fabric stepping engine (default: active)",
+        "--engine", choices=("active", "reference", "replay", "both", "all"),
+        default="active", help="fabric stepping engine (default: active); "
+        "'both' = active+reference, 'all' adds replay",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="attach the cycle profiler and decompose each check's slack",
     )
     args = parser.parse_args(argv if argv is not None else [])
-    engines = (
-        ("active", "reference") if args.engine == "both" else (args.engine,)
-    )
+    if args.engine == "both":
+        engines = ("active", "reference")
+    elif args.engine == "all":
+        engines = ("active", "reference", "replay")
+    else:
+        engines = (args.engine,)
     status = 0
     for engine in engines:
-        text = verify_report_text(engine)
+        text = verify_report_text(engine, profile=args.profile)
         print(text)
         if not text.endswith("VERIFY OK"):
             status = 1

@@ -23,7 +23,7 @@ import numpy as np
 
 from .analyze.spec import ProgramDecl
 from .config import MachineConfig
-from .dsr import FabricRx, Instruction
+from .dsr import FabricRx, FabricTx, FifoPop, FifoPush, Instruction
 from .fifo import HardwareFifo
 from .memory import TileMemory
 from .task import TaskScheduler
@@ -82,6 +82,11 @@ class Core:
         #: Same contract as the sanitizer hook: one ``is None`` test on
         #: the hot path, all taping in :meth:`_step_recorded`.
         self.recorder = None
+        #: Attached :class:`repro.obs.profile.TileProfile`, or None.
+        #: Same contract again: one ``is None`` test on the hot path,
+        #: all wait-state accounting in :meth:`_step_profiled` (and the
+        #: recorded path's tail, so profiling composes with recording).
+        self.profiler = None
         #: True after a cycle in which nothing happened (no task ran, no
         #: instruction advanced or finished); the sleep gate.
         self._quiet = False
@@ -209,6 +214,8 @@ class Core:
             return self._step_sanitized()
         if self.recorder is not None:
             return self._step_recorded()
+        if self.profiler is not None:
+            return self._step_profiled()
         self._stepping = True
         ran = self.scheduler.dispatch(self)
         simd = self._simd
@@ -337,8 +344,103 @@ class Core:
         self.elements_processed += processed
         if processed:
             self.cycles_active += 1
-        self._quiet = not (processed or ran or finished)
+        quiet = not (processed or ran or finished)
+        self._quiet = quiet
+        prof = self.profiler
+        if prof is not None:
+            if quiet:
+                self._classify_wait(prof)
+            else:
+                prof.account(0, -1)
         return processed
+
+    def _step_profiled(self) -> int:
+        """:meth:`step` with per-cycle wait-state accounting, same
+        schedule.  Like the sanitized/recorded paths this only observes:
+        the classification runs after the cycle's real work, so a
+        profiled run is bit-identical."""
+        self._stepping = True
+        ran = self.scheduler.dispatch(self)
+        simd = self._simd
+        processed = 0
+        finished = 0
+        main = self.main
+        if main:
+            head = main[0]
+            fn = head._stepfn
+            processed += fn(simd) if fn is not None else head.step(simd)
+            if head.finished:
+                main.popleft()
+                finished += 1
+                self._fire(head)
+        occupied = self._occupied
+        if occupied:
+            threads = self.threads
+            for slot in occupied[:]:
+                instr = threads[slot]
+                fn = instr._stepfn
+                processed += fn(simd) if fn is not None else instr.step(simd)
+                if instr.finished:
+                    threads[slot] = None
+                    occupied.remove(slot)
+                    finished += 1
+                    self._fire(instr)
+        self._stepping = False
+        self.elements_processed += processed
+        if processed:
+            self.cycles_active += 1
+        quiet = not (processed or ran or finished)
+        self._quiet = quiet
+        if quiet:
+            self._classify_wait(self.profiler)
+        else:
+            self.profiler.account(0, -1)
+        return processed
+
+    def _classify_wait(self, tp) -> None:
+        """Attribute one non-busy stepped cycle to the profiler's
+        taxonomy: ``wait_rx`` (a live instruction starved of an upstream
+        word), ``wait_credit`` (blocked on downstream FIFO/egress
+        backpressure), or ``idle`` (nothing live, nothing ready).  The
+        aux value carries the blocking fabric channel (-1 for local
+        FIFOs or when unknown).  Upstream starvation wins over
+        backpressure: a stalled consumer is the *cause* of its
+        producer's backpressure, not the other way around."""
+        main = self.main
+        occupied = self._occupied
+        if not main and not occupied:
+            tp.account(3, -1)
+            return
+        instrs = []
+        if main:
+            instrs.append(main[0])
+        if occupied:
+            threads = self.threads
+            instrs.extend(threads[s] for s in occupied)
+        credit = -2
+        for instr in instrs:
+            for src in instr.srcs:
+                tsrc = type(src)
+                if tsrc is FabricRx:
+                    if src.pos < src.length and not src.queue:
+                        tp.account(1, src.channel)
+                        return
+                elif tsrc is FifoPop:
+                    if src.fifo.empty:
+                        tp.account(1, -1)
+                        return
+            dst = instr.dst
+            tdst = type(dst)
+            if tdst is FabricTx:
+                if dst.pos < dst.length and not self.can_inject(dst.channel):
+                    credit = dst.channel
+            elif tdst is FifoPush:
+                if dst.fifo.full:
+                    credit = -1
+        if credit != -2:
+            tp.account(2, credit)
+        else:
+            tp.account(1, -1)
 
     def can_sleep(self) -> bool:
         """Active-set engine hook: drop this core from the per-cycle

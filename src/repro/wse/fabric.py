@@ -294,6 +294,12 @@ class Fabric:
         #: ``on_skip(n)`` per fast-forwarded span.  The hot path pays a
         #: single ``is None`` test while detached.
         self.obs = None
+        #: Attached :class:`repro.obs.profile.CycleProfiler`, or None.
+        #: A report-time handle only — the stepping hot path never reads
+        #: it (the profiler chains into :attr:`obs` and hooks each
+        #: core); the replay recorder/compiled schedules use it to carry
+        #: recorded wait-state ledgers across replays.
+        self.profiler = None
         #: Attached :class:`repro.wse.sanitizer.RaceSanitizer`, or None.
         #: Managed by :meth:`attach_sanitizer` / :meth:`detach_sanitizer`
         #: (or per-call via ``run(sanitize=True)``).

@@ -164,6 +164,7 @@ def compile_tape(tape: RecordedTape, fabric) -> "CompiledSchedule":
         fifo_deltas=tape.fifo_deltas,
         flag_finals=tape.flag_finals,
         extern_lengths=tape.extern_lengths,
+        profile=getattr(tape, "profile", None),
     )
 
 
@@ -257,6 +258,17 @@ class CompiledSchedule:
                    self.stall, [(base + c, w) for c, w in self.series])
             else:
                 obs.on_skip(self.d_cycle)
+        # Profiler fold: replays advance the wait-state ledgers exactly
+        # as the recorded live run did.  A tape recorded without this
+        # profiler (or before it attached) still conserves cycles via
+        # the opaque fold, attributed to each tile's frozen state.
+        prof = getattr(fabric, "profiler", None)
+        if prof is not None and getattr(prof, "attached", False):
+            entry = getattr(self, "profile", None)
+            if entry is not None and entry[0] is prof:
+                prof.fold(entry[1])
+            else:
+                prof.fold_opaque(self.stepped, self.skipped)
 
     # ------------------------------------------------------------------
     def check(self) -> list[str]:

@@ -151,6 +151,10 @@ class ScheduleRecorder:
 
     def __init__(self, fabric):
         self.fabric = fabric
+        #: Profiler snapshot taken at attach (None when no profiler is
+        #: attached): lets the tape carry the window's wait-state ledger.
+        self._prof = None
+        self._prof_mark = None
         # --- SSA node tape ------------------------------------------------
         self.ops: list[int] = []
         self.odt: list[int] = []      # out dtype code per node
@@ -267,6 +271,17 @@ class ScheduleRecorder:
                     core.recorder = self
         self._inner_obs = fabric.obs
         fabric.obs = _RecorderObs(self, self._inner_obs)
+        # Profiler composition: snapshot the wait-state ledgers so the
+        # tape can carry the recorded window's attribution deltas (the
+        # cores' recorded step path keeps accounting live during the
+        # recording; replays fold the payload back via the schedule).
+        prof = getattr(fabric, "profiler", None)
+        if prof is not None and getattr(prof, "attached", False):
+            self._prof = prof
+            self._prof_mark = prof.mark()
+        else:
+            self._prof = None
+            self._prof_mark = None
         st = fabric.stats
         self._stats0 = {
             f: getattr(st, f)
@@ -737,6 +752,11 @@ class ScheduleRecorder:
             fifo_deltas=fifo_deltas,
             flag_finals=flag_finals,
             extern_lengths=dict(self._extern_counters),
+            profile=(
+                (self._prof, self._prof.window_payload(self._prof_mark))
+                if self._prof is not None and self._prof_mark is not None
+                else None
+            ),
         )
 
 

@@ -230,6 +230,32 @@ class TestFabricObserver:
         assert fo.stepped_cycles == f.cycle
         assert fo.total_words == f.total_words_moved
 
+    def test_utilization_excludes_preattach_busy(self):
+        """Regression: busy cycles accumulated before the observer
+        attached (warm-ups, prior runs) must not inflate core_busy —
+        utilization normalizes to the observed window only."""
+        from repro.kernels.spmv3d import SpmvEngine
+        from repro.problems.stencil7 import Stencil7
+
+        op, _b, _dinv = Stencil7.from_random(
+            (3, 3, 8), rng=np.random.default_rng(3)).jacobi_precondition()
+        v = 0.1 * np.random.default_rng(5).standard_normal(op.shape)
+
+        def observed_busy(warm_runs):
+            eng = SpmvEngine(op)  # constructor itself runs a warm-up
+            for _ in range(warm_runs):
+                eng.run(v)  # more unobserved busy cycles
+            obs = ObsSession()
+            fo = obs.observe_fabric("spmv", eng.fabric)
+            eng.run(v)
+            return fo.utilization_grids()["core_busy"]
+
+        busy = observed_busy(warm_runs=2)
+        assert 0 < busy.max() <= 1.0
+        # However many runs happened pre-attach, the observed window's
+        # fractions are those of a single run — no residue.
+        assert np.allclose(busy, observed_busy(warm_runs=0))
+
 
 class TestChromeExport:
     def test_events_well_formed(self, tmp_path):
@@ -264,6 +290,34 @@ class TestChromeExport:
         from repro.obs.export import MAX_COUNTER_SAMPLES
 
         assert 0 < len(counters) <= MAX_COUNTER_SAMPLES + 1
+
+    def test_strided_series_preserves_first_and_last(self):
+        """Striding must emit the series endpoints exactly: the final
+        value is the run's end state and may never be dropped."""
+        obs = ObsSession()
+        n = 50_000
+        for i in range(n):
+            obs.tracer.sample("r", i, float(i))
+        counters = [e for e in chrome_trace_events(obs)
+                    if e["ph"] == "C" and e["name"] == "r"]
+        assert counters[0]["ts"] == 0
+        assert counters[0]["args"]["value"] == 0.0
+        assert counters[-1]["ts"] == n - 1
+        assert counters[-1]["args"]["value"] == float(n - 1)
+
+    def test_harvested_metrics_become_counter_tracks(self, tmp_path):
+        f, _ = _line(4, 10)
+        obs = ObsSession()
+        obs.observe_fabric("line", f)
+        f.run()
+        obs.harvest()
+        events = chrome_trace_events(obs)
+        names = {e["name"] for e in events if e["ph"] == "C"}
+        assert "line.router_words_moved" in names
+        tracks = [e for e in events
+                  if e["ph"] == "C" and e["name"] == "line.router_words_moved"]
+        # Emitted as a flat track spanning the run (start and end).
+        assert {e["ts"] for e in tracks} == {0, f.cycle}
 
 
 class TestFabricTrace:
@@ -418,3 +472,57 @@ class TestObservedSolve:
         assert np.array_equal(bare_res.x, result.x)
         assert bare_res.residuals == result.residuals
         assert bare.report.total_cycles == solver.report.total_cycles
+
+
+class TestReplayObservation:
+    """Observability composed with the record/replay engine: counters
+    fold bit-identically from the tape, sampled instruments are (by
+    documented design) not re-sampled, and phase spans keep tiling the
+    unified timeline across live -> replay -> live transitions."""
+
+    def _spmv_session(self, engine, runs=3):
+        from repro.kernels.spmv3d import SpmvEngine
+        from repro.problems.stencil7 import Stencil7
+
+        op, _b, _dinv = Stencil7.from_random(
+            (3, 3, 8), rng=np.random.default_rng(3)).jacobi_precondition()
+        obs = ObsSession()
+        eng = SpmvEngine(op, engine=engine, obs=obs)
+        v = 0.1 * np.random.default_rng(5).standard_normal(op.shape)
+        for _ in range(runs):
+            eng.run(v)
+        return obs
+
+    def test_replay_counters_bit_identical(self):
+        live = self._spmv_session("active").metrics.as_dict()
+        rep = self._spmv_session("replay").metrics.as_dict()
+        for key in ("spmv.stepped_cycles", "spmv.skipped_cycles",
+                    "spmv.words_moved", "spmv.core_stall_cycles"):
+            assert rep[key]["value"] == live[key]["value"], key
+
+    def test_replay_does_not_resample_gauges(self):
+        """Replay executes no per-cycle sweep, so sampled instruments
+        (active-router histogram, occupancy gauge) only reflect the live
+        recording run — fewer observations than the all-live session."""
+        live = self._spmv_session("active").metrics.as_dict()
+        rep = self._spmv_session("replay").metrics.as_dict()
+        assert 0 < (rep["spmv.active_routers"]["count"]
+                    ) < live["spmv.active_routers"]["count"]
+
+    def test_phase_spans_tile_timeline_under_replay(self):
+        sys_ = momentum_system((6, 6, 8), reynolds=50.0, dt=0.02)
+        obs = ObsSession()
+        solver = DESBiCGStab(sys_.operator, engine="replay", obs=obs)
+        result = solver.solve(sys_.b, rtol=5e-3, maxiter=10)
+        assert result.converged
+        totals = obs.phase_totals()
+        assert sum(totals.values()) == solver.report.total_cycles
+        spans = sorted((s for s in obs.tracer.spans if s.cat == "phase"),
+                       key=lambda s: s.start)
+        pos = 0
+        for s in spans:
+            assert s.start == pos
+            pos = s.end
+        assert pos == solver.report.total_cycles
+        for fo in obs.fabrics.values():
+            assert fo.stepped_cycles + fo.skipped_cycles == fo.fabric.cycle
