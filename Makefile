@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test lint verify-contracts sanitize check trace profile bench bench-smoke bench-compare bench-verbose examples report all clean
+.PHONY: install test lint verify-contracts certify-numerics sanitize check trace profile bench bench-smoke bench-compare bench-verbose examples report all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -23,6 +23,13 @@ lint:
 verify-contracts:
 	PYTHONPATH=src python -m repro verify-contracts
 
+# Numerics certification: the static mixed-precision error bounds of
+# every shipped program held against an fp64 shadow execution on the
+# engine — observed error <= certified bound <= declared tolerance,
+# and the unscaled mfix-like variant rejected with a confirmed witness.
+certify-numerics:
+	PYTHONPATH=src python -m repro certify-numerics
+
 # Race-sanitized runs: every shipped program twice (plain vs sanitizer
 # attached), checked race-free and bit-identical at the byte level.
 sanitize:
@@ -31,7 +38,7 @@ sanitize:
 # The pre-PR gate: static analysis, contract verification against the
 # engine, race-sanitized runs, then the tier-1 test suite.  Run before
 # every PR.
-check: lint verify-contracts sanitize
+check: lint verify-contracts certify-numerics sanitize
 	PYTHONPATH=src python -m pytest -x -q
 
 # Observed DES solve: per-phase cycle table + iteration telemetry on
@@ -58,14 +65,18 @@ profile:
 # live engines (BENCH_replay.json) and fails on any three-way
 # equivalence mismatch.  The fifth measures the cycle profiler's
 # attached overhead (BENCH_profile.json, <25% gate + conservation).
-# Finally every BENCH_*.json gets a one-line summary appended to the
-# BENCH_history.jsonl ledger (see `make bench-compare`).
+# The sixth times the numerics pass (abstract interpretation + contract
+# synthesis) on a 48x48 2D-mapped program and a 512-tile 3D program
+# (BENCH_numerics.json).  Finally every BENCH_*.json gets a one-line
+# summary appended to the BENCH_history.jsonl ledger (see
+# `make bench-compare`).
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_des_engine.py --quick
 	PYTHONPATH=src python benchmarks/bench_obs_overhead.py --quick
 	PYTHONPATH=src python benchmarks/bench_analyze.py --quick
 	PYTHONPATH=src python benchmarks/bench_replay.py --quick
 	PYTHONPATH=src python benchmarks/bench_profile.py --quick
+	PYTHONPATH=src python benchmarks/bench_numerics.py --quick
 	PYTHONPATH=src python -m repro bench-history
 
 # Regression gate: hold the current BENCH_*.json files against the

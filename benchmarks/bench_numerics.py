@@ -1,21 +1,22 @@
-"""Static-analyzer cost benchmark: every pass on the big fabrics.
+"""Numerics-pass cost benchmark: certified error bounds at scale.
 
-The analyzer runs on every ``analyze=True`` build and inside ``make
-check``, so its cost must stay far below a simulated run and must not
-blow up as fabrics grow.  This benchmark times each of the ten passes
-(routing, flow, tasks, dsr, races, sram, precision, numerics, cdg,
-contract)
-individually, plus one full ``analyze_program`` sweep, on the two
-largest shipped program shapes:
+The mixed-precision numerics pass (abstract interpretation over value
+ranges and worst-case rounding error, plus :class:`NumericsContract`
+synthesis) runs on every ``analyze=True`` build and inside ``make
+check``, so — like the other static passes — its cost must stay far
+below a simulated run and must not blow up as fabrics grow.  This
+benchmark times the pass on the two largest shipped program shapes:
 
 * the paper's headline 48x48 problem under the 2D block mapping
   (16x16 = 256 tiles, 9-leg stencil program on every tile), and
 * a 512-tile (32x16 mesh) 3D SpMV mapping.
 
-Writes ``BENCH_analyze.json`` with per-pass wall seconds and fails if
-any program analyzes dirty (the passes must stay free of false
-positives at scale).  Run directly
-(``python benchmarks/bench_analyze.py``) or via ``make bench-smoke``;
+For each it records the numerics-pass wall seconds, the number of
+certified contract entries, the worst certified bound, and the cost of
+a ``NumericsContract`` serialization round-trip.  Writes
+``BENCH_numerics.json`` and fails if any program analyzes dirty or
+loses its contract in the round-trip.  Run directly
+(``python benchmarks/bench_numerics.py``) or via ``make bench-smoke``;
 ``--quick`` shrinks both meshes for CI smoke runs.
 """
 
@@ -29,7 +30,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.wse.analyze import analyze_program
-from repro.wse.analyze.analyzer import ALL_PASSES
+from repro.wse.analyze.numerics import NumericsContract
 
 SPMV2D_SHAPE = (48, 48)
 SPMV2D_BLOCK = (3, 3)
@@ -60,48 +61,40 @@ def _build_spmv3d(shape):
     return fabric
 
 
-def _count_instructions(fabric) -> int:
-    n = 0
-    for y in range(fabric.height):
-        for x in range(fabric.width):
-            core = fabric.core(x, y)
-            decl = getattr(core, "program_decl", None)
-            if decl is not None:
-                n += sum(1 for _ in decl.instructions())
-    return n
-
-
 def _measure(name: str, builder) -> dict:
     t0 = time.perf_counter()
     fabric = builder()
     build_seconds = time.perf_counter() - t0
 
-    per_pass = {}
-    diagnostics = 0
-    for pass_name in ALL_PASSES:
-        t0 = time.perf_counter()
-        report = analyze_program(fabric, passes=(pass_name,))
-        per_pass[pass_name] = round(time.perf_counter() - t0, 4)
-        diagnostics += len(report)
-
     t0 = time.perf_counter()
-    full = analyze_program(fabric)
-    full_seconds = time.perf_counter() - t0
+    report = analyze_program(fabric, passes=("numerics",))
+    pass_seconds = time.perf_counter() - t0
+
+    contract = report.numerics
+    entries = len(contract.entries) if contract is not None else 0
+    worst = contract.worst() if contract is not None else None
+
+    roundtrip_ok = contract is None
+    t0 = time.perf_counter()
+    if contract is not None:
+        reloaded = NumericsContract.from_dict(contract.as_dict())
+        roundtrip_ok = reloaded.entries == contract.entries
+    roundtrip_seconds = time.perf_counter() - t0
 
     return {
         "program": name,
         "tiles": fabric.width * fabric.height,
-        "declared_instructions": _count_instructions(fabric),
         "build_seconds": round(build_seconds, 4),
-        "pass_seconds": per_pass,
-        "all_passes_seconds": round(full_seconds, 4),
-        "diagnostics": diagnostics + len(full),
-        "clean": full.ok and diagnostics == 0,
+        "numerics_seconds": round(pass_seconds, 4),
+        "contract_entries": entries,
+        "worst_bound": worst[7] if worst else None,
+        "roundtrip_seconds": round(roundtrip_seconds, 4),
+        "clean": report.ok and roundtrip_ok,
     }
 
 
 def run(quick: bool = False,
-        out_path: str | Path = "BENCH_analyze.json") -> dict:
+        out_path: str | Path = "BENCH_numerics.json") -> dict:
     shape2d = QUICK_SPMV2D_SHAPE if quick else SPMV2D_SHAPE
     block2d = QUICK_SPMV2D_BLOCK if quick else SPMV2D_BLOCK
     shape3d = QUICK_SPMV3D_SHAPE if quick else SPMV3D_SHAPE
@@ -117,9 +110,8 @@ def run(quick: bool = False,
         ),
     ]
     result = {
-        "benchmark": "analyze_cost",
+        "benchmark": "numerics_cost",
         "quick": quick,
-        "passes": list(ALL_PASSES),
         "programs": programs,
     }
     Path(out_path).write_text(json.dumps(result, indent=2) + "\n")
@@ -130,21 +122,20 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true",
                     help="small meshes for smoke runs")
-    ap.add_argument("--out", default="BENCH_analyze.json")
+    ap.add_argument("--out", default="BENCH_numerics.json")
     args = ap.parse_args(argv)
     result = run(quick=args.quick, out_path=args.out)
     print(json.dumps(result, indent=2))
     dirty = [p["program"] for p in result["programs"] if not p["clean"]]
     if dirty:
-        print(f"ANALYSIS NOT CLEAN on: {', '.join(dirty)}")
+        print(f"NUMERICS NOT CLEAN on: {', '.join(dirty)}")
         return 1
     for p in result["programs"]:
-        slowest = max(p["pass_seconds"], key=p["pass_seconds"].get)
         print(
             f"{p['program']}: {p['tiles']} tiles, "
-            f"{p['declared_instructions']} declared instructions, "
-            f"all passes in {p['all_passes_seconds']}s "
-            f"(slowest pass: {slowest} {p['pass_seconds'][slowest]}s)"
+            f"{p['contract_entries']} certified entries "
+            f"(worst bound {p['worst_bound']:.3g}) "
+            f"in {p['numerics_seconds']}s"
         )
     return 0
 

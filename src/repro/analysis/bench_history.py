@@ -86,6 +86,11 @@ def summarize(source) -> dict | None:
         total = sum(p.get("all_passes_seconds", 0.0) for p in progs)
         record["seconds"] = round(total, 4)
         record["mesh"] = [p.get("program") for p in progs]
+    elif bench == "numerics_cost":
+        progs = data.get("programs", [])
+        total = sum(p.get("numerics_seconds", 0.0) for p in progs)
+        record["seconds"] = round(total, 4)
+        record["mesh"] = [p.get("program") for p in progs]
     else:
         return None
     return record

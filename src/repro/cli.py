@@ -31,8 +31,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="list",
         help=(
             "report name, 'list', 'all', 'lint', 'verify-contracts', "
-            "'sanitize', 'trace', 'profile', 'bench-compare', "
-            "'bench-history', or 'write-report' (default: list)"
+            "'certify-numerics', 'sanitize', 'trace', 'profile', "
+            "'bench-compare', 'bench-history', or 'write-report' "
+            "(default: list)"
         ),
     )
     parser.add_argument(
@@ -97,6 +98,11 @@ def main(argv: list[str] | None = None) -> int:
         from .wse.analyze.sanitize import sanitize_main
 
         return sanitize_main(argv[1:])
+    if argv and argv[0] == "certify-numerics":
+        # `certify-numerics` owns --engine/--json; same early dispatch.
+        from .wse.analyze.certify import certify_main
+
+        return certify_main(argv[1:])
     args = build_parser().parse_args(argv)
     name = args.report
     if name == "list":

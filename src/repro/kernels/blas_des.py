@@ -87,6 +87,7 @@ def build_axpy_fabric(
     y: np.ndarray,
     config: MachineConfig = CS1,
     analyze: bool = False,
+    tolerance: float = 0.01,
 ) -> tuple[Fabric, np.ndarray, Instruction]:
     """Construct (without running) the single-tile AXPY program.
 
@@ -102,22 +103,28 @@ def build_axpy_fabric(
     xa = core.memory.store("x", x16)
     ya = core.memory.store("y", y16)
     out = core.memory.alloc("out", n, np.float16)
+    a16 = float(np.float16(np.float32(a)))
     instr = Instruction(
         op="axpy",
         dst=MemCursor(out, 0, n, name="out"),
         srcs=[MemCursor(ya, 0, n, name="y"), MemCursor(xa, 0, n, name="x")],
         length=n,
-        scalar=float(np.float16(np.float32(a))),
+        scalar=a16,
         rate=config.simd_width_fp16,
         name="axpy",
     )
     core.launch(instr, thread=0)
-    core.program_decl.launched(InstrDecl(
+    decl = core.program_decl
+    decl.launched(InstrDecl(
         "axpy", MemRef("out", 0, n),
         (MemRef("y", 0, n), MemRef("x", 0, n)),
-        length=n, thread=0, name="axpy",
+        length=n, thread=0, name="axpy", scalar=a16,
         rate=config.simd_width_fp16,
     ))
+    if n:
+        decl.declare_range("x", float(x16.min()), float(x16.max()))
+        decl.declare_range("y", float(y16.min()), float(y16.max()))
+    decl.declare_tolerance(tolerance)
     if analyze:
         analyze_program(fabric).raise_on_error()
     else:
@@ -130,6 +137,7 @@ def build_dot_fabric(
     y: np.ndarray,
     config: MachineConfig = CS1,
     analyze: bool = False,
+    tolerance: float = 0.001,
 ) -> tuple[Fabric, ScalarAccumulator, Instruction]:
     """Construct (without running) the single-tile mixed-dot program.
 
@@ -153,12 +161,17 @@ def build_dot_fabric(
         name="dot",
     )
     core.launch(instr, thread=0)
-    core.program_decl.launched(InstrDecl(
+    decl = core.program_decl
+    decl.launched(InstrDecl(
         "mac", ScalarRef("float32"),
         (MemRef("x", 0, n), MemRef("y", 0, n)),
         length=n, thread=0, name="dot",
         rate=config.mixed_fmacs_per_cycle,
     ))
+    if n:
+        decl.declare_range("x", float(x16.min()), float(x16.max()))
+        decl.declare_range("y", float(y16.min()), float(y16.max()))
+    decl.declare_tolerance(tolerance)
     if analyze:
         analyze_program(fabric).raise_on_error()
     else:

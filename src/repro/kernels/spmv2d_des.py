@@ -96,6 +96,8 @@ def _build_tile(
     bj: int,
     bx: int,
     by: int,
+    value_range: tuple[float, float] = (-2.0, 2.0),
+    tolerance: float = 0.25,
 ) -> _TileProgram:
     mem = core.memory
     px = op.shape[0] // bx
@@ -161,6 +163,11 @@ def _build_tile(
     core.scheduler.add("local", local_compute)
     core.scheduler.activate("local")
     decl = core.program_decl
+    # The numerics certificate is conditional on the iterate staying in
+    # this range (checked per run by the shadow executor); the tolerance
+    # is the per-output absolute error budget the static bound must meet.
+    decl.declare_range("v", *value_range)
+    decl.declare_tolerance(tolerance)
     last_leg = list(OFFSETS_9PT)[-1]
     decl.task("local", launches=tuple(
         InstrDecl(
@@ -321,6 +328,8 @@ def build_spmv2d_fabric(
     config: MachineConfig = CS1,
     analyze: bool = False,
     engine: str = "active",
+    value_range: tuple[float, float] = (-2.0, 2.0),
+    tolerance: float = 0.25,
 ) -> tuple[Fabric, list[list[_TileProgram]]]:
     """Construct the block-mapped fabric for one 2D SpMV.
 
@@ -343,7 +352,8 @@ def build_spmv2d_fabric(
             core = Core(bi, bj, config)
             fabric.attach_core(bi, bj, core)
             programs[bj][bi] = _build_tile(
-                core, fabric, op, cols, v, bi, bj, bx, by
+                core, fabric, op, cols, v, bi, bj, bx, by,
+                value_range, tolerance,
             )
     if analyze:
         analyze_program(fabric).raise_on_error()

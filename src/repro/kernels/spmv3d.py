@@ -44,6 +44,7 @@ import numpy as np
 
 from ..problems.stencil7 import Stencil7
 from ..wse.analyze import (
+    DrainDecl,
     FabricRef,
     FifoRef,
     InstrDecl,
@@ -108,6 +109,8 @@ def _build_tile_program(
     j: int,
     fifo_capacity: int,
     two_sum_tasks: bool = False,
+    value_range: tuple[float, float] = (-2.0, 2.0),
+    tolerance: float = 0.25,
 ) -> SpmvProgram:
     """Construct listing 1 on one core for mesh column (i, j, :)."""
     nx, ny, nz = op.shape
@@ -195,6 +198,9 @@ def _build_tile_program(
             # accumulator array directly (same semantics as
             # pop()/peek()/write(), minus the per-element calls).
             rec = c.recorder
+            # The fp64 shadow executor taps drains the same way the
+            # recorder does (RaceSanitizer has no on_drain → None).
+            shadow = getattr(c.sanitizer, "on_drain", None)
             for fifo, acc in _pairs:
                 buf = fifo._buf
                 if not buf:
@@ -205,14 +211,17 @@ def _build_tile_program(
                 pos = acc.pos
                 length = acc.length
                 popleft = buf.popleft
-                if rec is not None:
+                if rec is not None or shadow is not None:
                     # Tape the drain before the adds land so first-touch
                     # leaves capture pre-mutation cell values.
                     n = len(buf)
                     if n > length - pos:
                         n = length - pos
                     if n:
-                        rec.on_drain(fifo, acc, pos, n)
+                        if rec is not None:
+                            rec.on_drain(fifo, acc, pos, n)
+                        if shadow is not None:
+                            shadow(fifo, acc, pos, n)
                 while buf and pos < length:
                     idx = offset + pos * stride
                     arr[idx] = arr[idx] + popleft()
@@ -221,17 +230,32 @@ def _build_tile_program(
         return body
 
     decl = core.program_decl
+    # The numerics certificate is conditional on the iterate staying in
+    # this range (the shadow executor checks it per run); the tolerance
+    # is the per-output absolute error budget the static bound must meet.
+    decl.declare_range("v", *value_range)
+    decl.declare_tolerance(tolerance)
+    # DrainDecl (not bare names): the numerics pass needs to know where
+    # the popped words land to propagate error bounds through the drain.
+    drain_dst = {
+        name: MemRef("u", 2 if name == "z" else 1, Z)
+        for name in ("xp", "xm", "yp", "ym", "z")
+    }
+
+    def _drain_decls(names):
+        return tuple(DrainDecl(f"{n}_fifo", drain_dst[n]) for n in names)
+
     if two_sum_tasks:
         core.scheduler.add("sumtask", _drain(("xp", "xm", "z")), priority=1)
         core.scheduler.add("sumtask2", _drain(("yp", "ym")), priority=1)
-        decl.task("sumtask", drains=("xp_fifo", "xm_fifo", "z_fifo"))
-        decl.task("sumtask2", drains=("yp_fifo", "ym_fifo"))
+        decl.task("sumtask", drains=_drain_decls(("xp", "xm", "z")))
+        decl.task("sumtask2", drains=_drain_decls(("yp", "ym")))
     else:
         core.scheduler.add(
             "sumtask", _drain(("xp", "xm", "z", "yp", "ym")), priority=1
         )
-        decl.task("sumtask", drains=tuple(
-            f"{n}_fifo" for n in ("xp", "xm", "z", "yp", "ym")))
+        decl.task("sumtask",
+                  drains=_drain_decls(("xp", "xm", "z", "yp", "ym")))
 
     def _tree(name, *ops_):
         def body(c: Core, _ops=ops_) -> None:
@@ -392,6 +416,8 @@ def build_spmv_fabric(
     fifo_capacity: int = 20,
     two_sum_tasks: bool = False,
     analyze: bool = False,
+    value_range: tuple[float, float] = (-2.0, 2.0),
+    tolerance: float = 0.25,
 ) -> tuple[Fabric, list[list[SpmvProgram]]]:
     """Construct the full fabric running one SpMV over the mesh.
 
@@ -413,7 +439,7 @@ def build_spmv_fabric(
             fabric.attach_core(i, j, core)
             programs[j][i] = _build_tile_program(
                 core, fabric, op, v[i, j, :], i, j, fifo_capacity,
-                two_sum_tasks,
+                two_sum_tasks, value_range, tolerance,
             )
     if analyze:
         analyze_program(fabric).raise_on_error()

@@ -175,13 +175,7 @@ def _sequential_sum_f32(values: np.ndarray) -> np.float32:
     error stays O(n * eps_32), far below the fp16 data noise, which both
     orders satisfy.
     """
-    flat = values.ravel()
-    if flat.size <= 4096:
-        acc = np.float32(0.0)
-        # NumPy scalar loop is slow; use cumulative approach only for the
-        # exact emulation of small sizes where tests inspect ordering.
-        return np.float32(np.add.reduce(flat, dtype=np.float32))
-    return np.float32(np.add.reduce(flat, dtype=np.float32))
+    return np.float32(np.add.reduce(values.ravel(), dtype=np.float32))
 
 
 def dot(

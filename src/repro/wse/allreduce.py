@@ -34,6 +34,7 @@ import numpy as np
 
 from .config import CS1, MachineConfig
 from .fabric import Fabric
+from .sanitizer import _ShadowWord
 from .patterns import (
     Pattern,
     compile_to_fabric,
@@ -182,14 +183,21 @@ def _role_of(x: int, y: int, width: int, height: int) -> _Role:
     return _Role(row_sink, col_sink, root, n_row, n_col)
 
 
-def _reduce_decl(role: _Role):
+def _reduce_decl(
+    role: _Role,
+    value_range: tuple[float, float] = (-64.0, 64.0),
+    tolerance: float = 0.05,
+):
     """A tile's static program declaration, derived from its role.
 
     Mirrors exactly what :meth:`ReduceCore._advance` does on each phase
     channel — one word sent per forwarding role, ``n_row``/``n_col``/3
     words accumulated per sink — so the analyzer's flow-conservation and
     contract passes can verify the whole collective against the Fig. 6
-    routing pattern word-for-word.
+    routing pattern word-for-word.  ``value_range`` bounds each tile's
+    input scalar and ``tolerance`` is the per-output absolute error
+    budget; both feed the numerics pass
+    (:mod:`repro.wse.analyze.numerics`).
     """
     from .analyze.spec import FabricRef, InstrDecl, ProgramDecl, ScalarRef
 
@@ -237,6 +245,8 @@ def _reduce_decl(role: _Role):
         ))
     decl = ProgramDecl()
     decl.launched(*instrs)
+    decl.declare_range("__scalar__", *value_range)
+    decl.declare_tolerance(tolerance)
     return decl
 
 
@@ -249,10 +259,19 @@ class ReduceCore:
     accumulator).
     """
 
-    def __init__(self, x: int, y: int, width: int, height: int, value: float):
+    def __init__(
+        self,
+        x: int,
+        y: int,
+        width: int,
+        height: int,
+        value: float,
+        value_range: tuple[float, float] = (-64.0, 64.0),
+        tolerance: float = 0.05,
+    ):
         self.x, self.y = x, y
         self.role = _role_of(x, y, width, height)
-        self.program_decl = _reduce_decl(self.role)
+        self.program_decl = _reduce_decl(self.role, value_range, tolerance)
         self.acc = np.float32(value)
         self.result: np.float32 | None = None
         self._inbox: deque = deque()
@@ -268,6 +287,9 @@ class ReduceCore:
         #: Attached :class:`repro.obs.profile.TileProfile`, or None
         #: (one ``is None`` test in :meth:`step` when detached).
         self.profiler = None
+        #: Attached :class:`repro.wse.sanitizer.ShadowNumerics`, or None
+        #: (same one-test contract); set by ``ShadowNumerics.attach``.
+        self.shadow = None
 
     def reset(self, value: float) -> None:
         """Re-arm the core for another collective on the same fabric."""
@@ -287,6 +309,9 @@ class ReduceCore:
             # "values" extern vector (slots issue in reset-call order,
             # which AllReduceEngine keeps row-major).
             rec.on_obj_init(self, "acc", self.acc, extern="values")
+        sh = self.shadow
+        if sh is not None:
+            sh.on_reduce_reset(self)
         if self.on_wake is not None:
             self.on_wake()
 
@@ -325,6 +350,8 @@ class ReduceCore:
         return self._quiet and not self._inbox
 
     def _advance(self) -> int:
+        if self.shadow is not None:
+            return self._advance_shadowed()
         if self.recorder is not None:
             return self._advance_recorded()
         work = 0
@@ -357,6 +384,67 @@ class ReduceCore:
         if col_done and self._counts[CH_GATHER] >= 3 and not self._sent[CH_BCAST]:
             self.result = np.float32(self.acc)
             self._tx.append((CH_BCAST, float(self.acc)))
+            self._sent[CH_BCAST] = True
+        return work
+
+    def _advance_shadowed(self) -> int:
+        """:meth:`_advance` while an fp64 shadow executor is attached.
+
+        Identical arithmetic and send schedule; additionally carries the
+        fp64 shadow of every word in-band (:class:`_ShadowWord` — the
+        routers treat words opaquely, so the pair travels unchanged) and
+        reports each fp32 accumulation plus the final result to the
+        shadow, which records the realized |fp32 - fp64| error.
+        """
+        sh = self.shadow
+        f32 = np.float32
+        work = 0
+        while self._inbox:
+            channel, word = self._inbox.popleft()
+            if isinstance(word, _ShadowWord):
+                value, sval = word.v, word.s
+            else:  # un-instrumented producer: keep running, flag the gap
+                value = float(word)
+                sval = sh.on_stray_word(self, channel, value)
+            if channel == CH_BCAST:
+                self.result = f32(value)
+                sh.on_reduce_result(self, float(self.result), sval)
+            else:
+                self.acc = f32(self.acc + f32(value))
+                sh.on_reduce_add(self, sval)
+                self._counts[channel] += 1
+            work += 1
+
+        def send(channel):
+            self._tx.append((
+                channel,
+                _ShadowWord(float(self.acc), sh.reduce_shadow(self)),
+            ))
+
+        r = self.role
+        if not r.row_sink:
+            if not self._sent[CH_ROW]:
+                send(CH_ROW)
+                self._sent[CH_ROW] = True
+            return work
+        row_done = self._counts[CH_ROW] >= r.n_row
+        if not r.col_sink:
+            if row_done and not self._sent[CH_COL]:
+                send(CH_COL)
+                self._sent[CH_COL] = True
+            return work
+        col_done = row_done and self._counts[CH_COL] >= r.n_col
+        if not r.root:
+            if col_done and not self._sent[CH_GATHER]:
+                send(CH_GATHER)
+                self._sent[CH_GATHER] = True
+            return work
+        if col_done and self._counts[CH_GATHER] >= 3 and not self._sent[CH_BCAST]:
+            self.result = f32(self.acc)
+            sh.on_reduce_result(
+                self, float(self.result), sh.reduce_shadow(self)
+            )
+            send(CH_BCAST)
             self._sent[CH_BCAST] = True
         return work
 

@@ -37,6 +37,19 @@ from .cdg import (
 )
 from .contracts import StaticContract, compute_contract, contract_pass
 from .diagnostics import AnalysisError, AnalysisReport, Diagnostic, Severity
+from .numerics import (
+    NumericsContract,
+    Val,
+    accumulation_error_bound,
+    compose_error_bounds,
+    confirm_numerics_witness,
+    finite_max,
+    numerics_pass,
+    parse_dtype,
+    smallest_subnormal,
+    synthesize_numerics_witness,
+    unit_roundoff,
+)
 from .passes import (
     dsr_pass,
     flow_pass,
@@ -60,6 +73,7 @@ from .schedule import (
 )
 from .spec import (
     BUILD_LAUNCH,
+    DrainDecl,
     FabricRef,
     FifoRef,
     FifoSpec,
@@ -68,6 +82,7 @@ from .spec import (
     ProgramDecl,
     ScalarRef,
     TaskDecl,
+    drain_fifo_name,
 )
 
 __all__ = [
@@ -89,6 +104,17 @@ __all__ = [
     "confirm_race",
     "sram_pass",
     "precision_pass",
+    "numerics_pass",
+    "NumericsContract",
+    "Val",
+    "parse_dtype",
+    "unit_roundoff",
+    "finite_max",
+    "smallest_subnormal",
+    "accumulation_error_bound",
+    "compose_error_bounds",
+    "synthesize_numerics_witness",
+    "confirm_numerics_witness",
     "cdg_pass",
     "channel_dependency_graph",
     "extract_cycle",
@@ -112,5 +138,7 @@ __all__ = [
     "FifoSpec",
     "InstrDecl",
     "TaskDecl",
+    "DrainDecl",
+    "drain_fifo_name",
     "ProgramDecl",
 ]

@@ -9,9 +9,12 @@ without executing a single cycle.
 
 from __future__ import annotations
 
+import dataclasses
+
 from .cdg import cdg_pass
 from .contracts import contract_pass
 from .diagnostics import AnalysisReport
+from .numerics import numerics_pass
 from .passes import dsr_pass, flow_pass, precision_pass, sram_pass, task_graph_pass
 from .races import races_pass
 from .routing import routing_pass
@@ -21,11 +24,13 @@ __all__ = ["analyze_program", "ALL_PASSES"]
 
 #: Pass execution order.  Routing first (flow conservation skips channels
 #: whose forwarding graph is cyclic, deferring to the routing findings);
-#: cdg proves the credit graph acyclic; contract — which summarizes the
-#: traffic the earlier passes validated — runs last.
+#: numerics after precision (the lint runs on the same dtype machinery
+#: but cheaper); cdg proves the credit graph acyclic; contract — which
+#: summarizes the traffic the earlier passes validated and absorbs the
+#: numerics certificate — runs last.
 ALL_PASSES = (
-    "routing", "flow", "tasks", "dsr", "races", "sram", "precision", "cdg",
-    "contract",
+    "routing", "flow", "tasks", "dsr", "races", "sram", "precision",
+    "numerics", "cdg", "contract",
 )
 
 
@@ -92,12 +97,20 @@ def analyze_program(
         report.notes.extend(notes)
     if "precision" in selected:
         report.diagnostics.extend(precision_pass(fabric, cores))
+    numerics_contract = None
+    if "numerics" in selected:
+        diags, notes, numerics_contract = numerics_pass(fabric, cores)
+        report.diagnostics.extend(diags)
+        report.notes.extend(notes)
+        report.numerics = numerics_contract
     if "cdg" in selected:
         report.diagnostics.extend(cdg_pass(fabric))
     if "contract" in selected:
         diags, notes, contract = contract_pass(fabric)
         report.diagnostics.extend(diags)
         report.notes.extend(notes)
+        if numerics_contract is not None:
+            contract = dataclasses.replace(contract, numerics=numerics_contract)
         report.contract = contract
         # Attach deliberately: a later FabricDeadlockError names the
         # statically-predicted CDG cycle, and runners can verify the

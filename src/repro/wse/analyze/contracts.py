@@ -71,6 +71,12 @@ class StaticContract:
         tuples of ``(x, y, channel, in_port)`` nodes.  Non-empty means
         the word counts exclude the cyclic channels (and the CDG pass
         reports errors).
+    numerics:
+        Certified per-output value-range and rounding-error bounds
+        (:class:`~repro.wse.analyze.numerics.NumericsContract`), or None
+        when the numerics pass has not run for this fabric.  Attached by
+        the analyzer; ``verify-contracts --numerics`` checks the shadow
+        executor's realized error against these bounds.
     """
 
     total_words: int = 0
@@ -78,6 +84,7 @@ class StaticContract:
     link_words: tuple = ()
     cycle_lower_bound: int = 0
     cdg_cycles: tuple = ()
+    numerics: object = None
 
     def router_words_map(self) -> dict:
         """``(x, y) -> words`` as a dict."""
@@ -115,7 +122,7 @@ class StaticContract:
 
     # -- serialization -------------------------------------------------
     def as_dict(self) -> dict:
-        return {
+        d = {
             "total_words": self.total_words,
             "router_words": [list(e) for e in self.router_words],
             "link_words": [list(e) for e in self.link_words],
@@ -124,12 +131,20 @@ class StaticContract:
                 [list(n) for n in cyc] for cyc in self.cdg_cycles
             ],
         }
+        if self.numerics is not None:
+            d["numerics"] = self.numerics.as_dict()
+        return d
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.as_dict(), indent=indent)
 
     @classmethod
     def from_dict(cls, d: dict) -> "StaticContract":
+        numerics = d.get("numerics")
+        if numerics is not None:
+            from .numerics import NumericsContract
+
+            numerics = NumericsContract.from_dict(numerics)
         return cls(
             total_words=int(d["total_words"]),
             router_words=tuple(tuple(e) for e in d["router_words"]),
@@ -138,6 +153,7 @@ class StaticContract:
             cdg_cycles=tuple(
                 tuple(tuple(n) for n in cyc) for cyc in d["cdg_cycles"]
             ),
+            numerics=numerics,
         )
 
     @classmethod

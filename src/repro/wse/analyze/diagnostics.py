@@ -136,11 +136,16 @@ class AnalysisReport:
 
     ``contract`` is the :class:`repro.wse.analyze.contracts.StaticContract`
     computed by the contract pass (None when that pass did not run).
+
+    ``numerics`` is the :class:`repro.wse.analyze.numerics.NumericsContract`
+    computed by the numerics pass (None when that pass did not run); the
+    contract pass also embeds it in ``contract.numerics``.
     """
 
     diagnostics: list[Diagnostic] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
     contract: object | None = None
+    numerics: object | None = None
 
     # ------------------------------------------------------------------
     @property

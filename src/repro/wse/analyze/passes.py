@@ -22,7 +22,15 @@ import numpy as np
 
 from .diagnostics import Diagnostic, Severity
 from .routing import cyclic_sccs, forwarding_graph, routes_by_channel
-from .spec import BUILD_LAUNCH, FabricRef, FifoRef, MemRef, ProgramDecl, ScalarRef
+from .spec import (
+    BUILD_LAUNCH,
+    FabricRef,
+    FifoRef,
+    MemRef,
+    ProgramDecl,
+    ScalarRef,
+    drain_fifo_name,
+)
 from ..dsr import Action
 from ..fabric import Fabric, Port
 
@@ -253,8 +261,8 @@ def task_graph_pass(fabric: Fabric, cores) -> list[Diagnostic]:
         for tname, task in decl.tasks.items():
             for target, action in task.actions:
                 _edge(tname, target, action)
-            for fifo_name in task.drains:
-                drained.setdefault(fifo_name, set()).add(tname)
+            for drain in task.drains:
+                drained.setdefault(drain_fifo_name(drain), set()).add(tname)
             for instr in task.launches:
                 for target, action in instr.completions:
                     _edge(tname, target, action)
@@ -556,16 +564,23 @@ def precision_pass(fabric: Fabric, cores) -> list[Diagnostic]:
     add" hardware instruction exists to keep.  Element-wise fp16 FMA
     chains (the 2D kernel's nine-leg stencil accumulate) are the
     intended use of fp16 storage and are not flagged.
+
+    This is a thin, syntactic client of the shared dtype machinery in
+    :mod:`repro.wse.analyze.numerics` (one source of truth for dtype
+    parsing and rounding units); the numerics pass does the full
+    range/error propagation, this lint fires even without declared
+    input ranges.
     """
+    from .numerics import accumulation_error_bound, parse_dtype, unit_roundoff
+
     diags: list[Diagnostic] = []
     for pos, core in _decl_cores(cores):
         for tname, instr in _decl_of(core).instructions():
             dst = instr.dst
             if not isinstance(dst, ScalarRef):
                 continue
-            try:
-                dtype = np.dtype(dst.dtype)
-            except TypeError:
+            dtype = parse_dtype(dst.dtype)
+            if dtype is None:
                 diags.append(Diagnostic(
                     Severity.ERROR, "precision", "unknown-dtype",
                     f"scalar accumulator in {instr.name or instr.op!r} "
@@ -573,12 +588,17 @@ def precision_pass(fabric: Fabric, cores) -> list[Diagnostic]:
                     where=pos, hint="use a numpy dtype name like 'float32'",
                 ))
                 continue
-            if instr.op == "mac" and dtype == np.float16:
+            # fp16 or coarser accumulation of a reduction: every add
+            # rounds at >= 2^-11 of the running magnitude.
+            if instr.op == "mac" and \
+                    unit_roundoff(dtype) >= unit_roundoff(np.float16):
+                rel = accumulation_error_bound(dtype, instr.length, 1.0)
                 diags.append(Diagnostic(
                     Severity.ERROR, "precision", "fp16-accumulator",
                     f"reduction {instr.name or 'mac'!r} (length "
                     f"{instr.length}) accumulates into an fp16 scalar — "
-                    "roundoff grows with the reduction length",
+                    "roundoff grows with the reduction length "
+                    f"(worst-case {rel:.3g} of the running magnitude)",
                     where=pos,
                     hint="accumulate at fp32 (the hardware's mixed dot "
                          "instruction), as the paper's section VI study does",

@@ -41,6 +41,8 @@ __all__ = [
     "FifoSpec",
     "InstrDecl",
     "TaskDecl",
+    "DrainDecl",
+    "drain_fifo_name",
     "ProgramDecl",
 ]
 
@@ -115,6 +117,11 @@ class InstrDecl:
     dot sustains 2 FMAC/cycle, the fp16 SIMD unit 4).  ``0`` means
     undeclared; the contract pass then assumes the core's full SIMD
     width, which keeps the derived cycle bound a true lower bound.
+
+    ``scalar`` mirrors the runtime ``axpy`` register operand.  The
+    numerics pass needs its magnitude to bound the scaled term; an
+    undeclared scalar (None on an ``axpy``) makes the pass assume
+    ``|a| <= 1`` and leave a note.
     """
 
     op: str
@@ -125,6 +132,31 @@ class InstrDecl:
     completions: tuple[tuple[str, Action], ...] = ()
     name: str = ""
     rate: int = 0
+    scalar: float | None = None
+
+
+@dataclass(frozen=True)
+class DrainDecl:
+    """A task body's FIFO accumulation drain, with its destination.
+
+    The SpMV sum task pops FIFO words inside the task body and adds each
+    into the next element of a persistent accumulator — arithmetic that
+    never appears as a vector instruction.  A bare FIFO name in
+    :attr:`TaskDecl.drains` declares only *that* the body drains; a
+    ``DrainDecl`` additionally declares *where* the popped words land
+    (``dst[k] = dst[k] + word_k`` in arrival order), which the numerics
+    pass needs to propagate rounding-error bounds through the drain.
+    """
+
+    fifo: str
+    dst: MemRef | None = None
+    op: str = "addin"
+
+
+def drain_fifo_name(drain) -> str:
+    """The FIFO name of one :attr:`TaskDecl.drains` entry (str or
+    :class:`DrainDecl`)."""
+    return drain.fifo if isinstance(drain, DrainDecl) else drain
 
 
 @dataclass(frozen=True)
@@ -140,14 +172,15 @@ class TaskDecl:
         ``(task_name, Action)`` pairs (listing 1's explicit ``block()``
         / ``unblock()`` / ``activate()`` calls).
     drains:
-        Names of hardware FIFOs the body pops in a loop (the SpMV sum
-        task's accumulation drain).
+        Hardware FIFOs the body pops in a loop (the SpMV sum task's
+        accumulation drain): bare FIFO names, or :class:`DrainDecl`
+        entries that also declare the accumulation destination.
     """
 
     name: str
     launches: tuple[InstrDecl, ...] = ()
     actions: tuple[tuple[str, Action], ...] = ()
-    drains: tuple[str, ...] = ()
+    drains: tuple = ()
 
 
 class ProgramDecl:
@@ -161,6 +194,14 @@ class ProgramDecl:
 
     def __init__(self) -> None:
         self.tasks: dict[str, TaskDecl] = {}
+        #: Declared input value ranges: allocation name -> (lo, hi).
+        #: The numerics pass seeds these arrays with the declared
+        #: interval instead of their build-time contents, so the
+        #: certified bounds cover every run whose inputs stay in range.
+        self.ranges: dict[str, tuple[float, float]] = {}
+        #: Declared absolute error tolerance for this core's outputs,
+        #: or None (no tolerance check; bounds are still certified).
+        self.tolerance: float | None = None
 
     def task(
         self,
@@ -183,6 +224,23 @@ class ProgramDecl:
             del self.tasks[BUILD_LAUNCH]
             instrs = existing.launches + tuple(instrs)
         return self.task(BUILD_LAUNCH, launches=tuple(instrs))
+
+    def declare_range(self, name: str, lo: float, hi: float) -> None:
+        """Declare the value range of input allocation ``name``.
+
+        The certificate the numerics pass derives is conditional on
+        every run's stored values of ``name`` lying in ``[lo, hi]``;
+        the shadow executor checks the precondition at runtime.
+        """
+        if not (float(lo) <= float(hi)):
+            raise ValueError(f"empty range [{lo}, {hi}] for {name!r}")
+        self.ranges[name] = (float(lo), float(hi))
+
+    def declare_tolerance(self, tol: float) -> None:
+        """Declare the absolute error tolerance for this core's outputs."""
+        if not (float(tol) > 0.0):
+            raise ValueError(f"tolerance must be positive, got {tol!r}")
+        self.tolerance = float(tol)
 
     def instructions(self):
         """Iterate ``(task_name, InstrDecl)`` over the whole program."""

@@ -426,6 +426,46 @@ def verify_report_text(engine: str = "active", profile: bool = False) -> str:
     return "\n".join(lines)
 
 
+def verify_numerics(engine: str = "active") -> int:
+    """Hold the numerics certificates to fp64 shadow observation.
+
+    Runs every certified program (the lint seven plus the Fig. 9 pair)
+    under ``engine`` with :class:`~repro.wse.sanitizer.ShadowNumerics`
+    attached and asserts observed error <= certified static bound on
+    each target.  Prints one summary line per program, plus one
+    machine-readable JSON line per failure; returns the failure count.
+    """
+    import json
+
+    from .certify import certify_all
+
+    bad = 0
+    print(f"numerics verification (engine={engine})")
+    for check in certify_all(engine=engine):
+        verdict = "OK" if check.ok else "FAIL"
+        if check.expect_reject:
+            detail = (
+                f"rejected, witness confirmed={check.witness_confirmed}"
+                if check.ok else "expected rejection not reproduced"
+            )
+        else:
+            wo = 0.0 if check.worst_observed is None else check.worst_observed
+            wb = 0.0 if check.worst_bound is None else check.worst_bound
+            detail = f"observed {wo:.3g} <= bound {wb:.3g}"
+        print(f"  {check.name:<22} [{verdict}] {detail}")
+        if not check.ok:
+            bad += 1
+            for failure in check.failures:
+                print(json.dumps(
+                    {"check": "numerics", "engine": engine,
+                     "program": check.name, **failure},
+                    default=str,
+                ))
+    print("NUMERICS OK" if not bad
+          else f"NUMERICS FAILED ({bad} program(s))")
+    return bad
+
+
 def verify_main(argv: list[str] | None = None) -> int:
     """CLI entry: verify under one engine (or both); exit 0 iff all OK."""
     parser = argparse.ArgumentParser(
@@ -445,6 +485,11 @@ def verify_main(argv: list[str] | None = None) -> int:
         "--profile", action="store_true",
         help="attach the cycle profiler and decompose each check's slack",
     )
+    parser.add_argument(
+        "--numerics", action="store_true",
+        help="additionally certify the static numerics bounds against "
+        "fp64 shadow execution (implied by --engine all)",
+    )
     args = parser.parse_args(argv if argv is not None else [])
     if args.engine == "both":
         engines = ("active", "reference")
@@ -458,4 +503,13 @@ def verify_main(argv: list[str] | None = None) -> int:
         print(text)
         if not text.endswith("VERIFY OK"):
             status = 1
+    # --engine all always covers the numerics certificates; the shadow
+    # executor drives the instruction stepper, so it runs under the
+    # active and replay orchestrations (not the reference engine).
+    if args.numerics or args.engine == "all":
+        for engine in engines:
+            if engine == "reference":
+                continue
+            if verify_numerics(engine):
+                status = 1
     return status

@@ -192,3 +192,96 @@ class TestTreeSum:
     def test_tree_sum_property(self, vals):
         got = tree_sum(vals, dtype=np.float64)
         assert got == pytest.approx(vals.sum(), rel=1e-10, abs=1e-9)
+
+
+def _bits(x) -> np.ndarray:
+    """fp16 array as raw uint16 bit patterns (bit-exact comparison)."""
+    return np.asarray(x, dtype=np.float16).view(np.uint16)
+
+
+fp16_finite = st.floats(
+    min_value=-1000.0, max_value=1000.0,
+    allow_nan=False, allow_infinity=False, width=16,
+)
+fp16_arrays = hnp.arrays(np.float16, st.integers(1, 64), elements=fp16_finite)
+
+
+class TestRoundToNearestEven:
+    """Audit: the fp16 paths round to nearest, ties to even, bit-exactly
+    as IEEE 754 binary16 (= NumPy float16) — the CS-1's rounding mode."""
+
+    def test_tie_rounds_to_even_mantissa(self):
+        # ulp(1.0) = 2^-10 in fp16; a half-ulp tie picks the even mantissa.
+        assert float(np.float16(1.0 + 2.0**-11)) == 1.0          # down: even
+        assert float(np.float16(1.0 + 3 * 2.0**-11)) == 1.0 + 2.0**-9  # up
+        # Integer ties above 2048 (ulp = 2): odd integers are exact ties.
+        assert float(np.float16(2049.0)) == 2048.0
+        assert float(np.float16(2051.0)) == 2052.0
+
+    def test_vadd_tie_cases(self):
+        x = np.array([2048.0, 2048.0], dtype=np.float16)
+        y = np.array([1.0, 3.0], dtype=np.float16)
+        out = vadd(x, y, "mixed")
+        np.testing.assert_array_equal(
+            _bits(out), _bits(np.array([2048.0, 2052.0], dtype=np.float16))
+        )
+
+    def test_fmac_exact_product_vs_double_rounding(self):
+        """A case where pre-rounding the product changes the answer:
+        fmac must match the single-rounded fp32-product path bit for bit,
+        and differ from the doubly-rounded fp16-product path."""
+        a = np.array([np.float16(1.0 + 2.0**-10)] * 2)
+        b = np.array([np.float16(1.0 + 2.0**-9)] * 2)
+        acc = np.array([np.float16(-1.0)] * 2)
+        out = fmac(acc, a, b, "mixed")
+        single = np.float16(
+            np.float32(a[0]) * np.float32(b[0]) + np.float32(acc[0])
+        )
+        double = np.float16(np.float16(a[0] * b[0]) + acc[0])
+        assert single != double  # the probe actually discriminates
+        np.testing.assert_array_equal(_bits(out), _bits([single, single]))
+
+    @given(fp16_arrays, fp16_arrays, fp16_finite)
+    @settings(max_examples=60, deadline=None)
+    def test_axpy_bit_exact_vs_numpy_float16(self, x, y, a):
+        n = min(len(x), len(y))
+        x, y = x[:n], y[:n]
+        with np.errstate(over="ignore", invalid="ignore"):
+            got = axpy(a, x, y, "mixed")
+            a16 = np.float16(np.float32(a))
+            ref = np.float16(x * a16 + y)
+            np.testing.assert_array_equal(_bits(got), _bits(ref))
+
+    @given(fp16_arrays, fp16_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_elementwise_bit_exact_vs_numpy_float16(self, x, y):
+        n = min(len(x), len(y))
+        x, y = x[:n], y[:n]
+        with np.errstate(over="ignore", invalid="ignore"):
+            np.testing.assert_array_equal(
+                _bits(vadd(x, y, "mixed")), _bits(np.float16(x + y)))
+            np.testing.assert_array_equal(
+                _bits(vsub(x, y, "mixed")), _bits(np.float16(x - y)))
+            np.testing.assert_array_equal(
+                _bits(vmul(x, y, "mixed")), _bits(np.float16(x * y)))
+
+    @given(fp16_arrays, fp16_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_mixed_dot_bit_exact_fp32_reduce(self, x, y):
+        """dot_fp16_fp32 == fp32 reduce over exact fp32 products, bitwise."""
+        n = min(len(x), len(y))
+        x, y = x[:n], y[:n]
+        got = dot_fp16_fp32(x, y)
+        ref = np.add.reduce(
+            x.astype(np.float32) * y.astype(np.float32), dtype=np.float32
+        )
+        assert got.view(np.uint32) == np.float32(ref).view(np.uint32)
+
+    def test_subnormal_fp16_preserved(self):
+        """Ops pass fp16 subnormals through NumPy untouched (no flush)."""
+        tiny = np.float16(2.0**-24)  # smallest positive subnormal
+        x = np.array([tiny, tiny], dtype=np.float16)
+        out = vadd(x, x, "mixed")
+        np.testing.assert_array_equal(
+            _bits(out), _bits(np.array([2.0**-23] * 2, dtype=np.float16))
+        )
