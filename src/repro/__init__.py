@@ -29,7 +29,7 @@ Quickstart::
     print(result.performance_summary())
 """
 
-from . import analysis, cfd, clustersim, io, kernels, obs, perfmodel, precision, problems, solver, wse
+from . import analysis, api, cfd, clustersim, io, kernels, obs, perfmodel, precision, problems, solver, wse
 from .precision import Precision
 from .problems import (
     LinearSystem,
@@ -45,6 +45,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
+    "api",
     "cfd",
     "clustersim",
     "io",

@@ -50,6 +50,7 @@ _CPS_KEYS = {
     "obs_overhead": ("off", "cycles_per_second"),
     "profile_overhead": ("off", "cycles_per_second"),
     "bicgstab_replay_engine": ("replay", "cycles_per_second"),
+    "sharded_des_engine": ("sharded_4w", "cycles_per_second"),
 }
 
 

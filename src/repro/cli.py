@@ -12,6 +12,7 @@ import argparse
 import sys
 
 from .analysis.reports import REPORTS
+from .api import add_engine_arguments
 
 __all__ = ["main", "build_parser"]
 
@@ -41,12 +42,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="experiments_regenerated.md",
         help="output path for write-report",
     )
-    parser.add_argument(
-        "--engine",
-        default=None,
-        choices=["active", "reference", "replay"],
-        help="stepping engine for des-scale (default: active)",
-    )
+    # The shared --engine/--workers fragment; only des-scale consumes
+    # them among the report subcommands (default None detects "given").
+    add_engine_arguments(parser, default=None)
     return parser
 
 
@@ -124,11 +122,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown report {name!r}\n", file=sys.stderr)
         print(_describe(), file=sys.stderr)
         return 2
-    if args.engine is not None:
+    if args.engine is not None or args.workers != 1:
         if name != "des-scale":
-            print("--engine only applies to des-scale", file=sys.stderr)
+            print("--engine/--workers only apply to des-scale",
+                  file=sys.stderr)
             return 2
-        print(fn(engine=args.engine))
+        engine = args.engine or "active"
+        workers = args.workers if engine == "sharded" else 1
+        print(fn(engine=engine, workers=workers))
         return 0
     print(fn())
     return 0

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api import RunOptions, coerce_options
 from ..obs import ObsSession
 from ..precision import Precision, spec_for
 from ..problems.stencil7 import Stencil7
@@ -87,6 +88,11 @@ class DESBiCGStab:
         Unit-diagonal :class:`Stencil7` (the wafer kernel's requirement).
     config:
         Machine constants (SIMD width for the AXPY/dot cycle charges).
+    options:
+        A :class:`repro.api.RunOptions` bundle controlling execution
+        (engine, workers, obs, analyze).  The bare ``analyze=`` /
+        ``engine=`` / ``obs=`` fields below are deprecated spellings of
+        the same thing and may not be combined with ``options``.
     analyze:
         When True, statically verify the SpMV tile program at
         construction time — a probe fabric is built (no cycles run) and
@@ -95,10 +101,12 @@ class DESBiCGStab:
     engine:
         Kernel execution engine: ``"active"`` (event-driven active-set
         sweep, the default), ``"reference"`` (the naive full-fabric
-        sweep kept for equivalence checking), or ``"replay"`` (record
+        sweep kept for equivalence checking), ``"replay"`` (record
         the first iteration's kernel schedules on the active engine,
         replay later iterations as compiled vectorized array programs;
-        requires ``persistent=True``).  Replay falls back to the live
+        requires ``persistent=True``), or ``"sharded"`` (the active
+        engine partitioned across ``options.workers`` processes; see
+        :mod:`repro.wse.shard`).  Replay falls back to the live
         engine on any program the analyzer cannot prove
         schedule-deterministic, and on any cache invalidation.
     persistent:
@@ -116,12 +124,20 @@ class DESBiCGStab:
 
     operator: Stencil7
     config: MachineConfig = field(default_factory=lambda: CS1)
-    analyze: bool = False
-    engine: str = "active"
+    analyze: bool | None = None
+    engine: str | None = None
     persistent: bool = True
     obs: ObsSession | None = None
+    options: RunOptions | None = None
 
     def __post_init__(self) -> None:
+        opts = coerce_options(self.options, caller="DESBiCGStab",
+                              engine=self.engine, analyze=self.analyze,
+                              obs=self.obs)
+        self.options = opts
+        self.engine = opts.engine
+        self.analyze = opts.analyze
+        self.obs = opts.obs
         if not self.operator.has_unit_diagonal:
             raise ValueError(
                 "DES BiCGStab requires a Jacobi-preconditioned operator"
@@ -170,7 +186,7 @@ class DESBiCGStab:
     # ------------------------------------------------------------------
     # Unified timeline (persistent mode)
     # ------------------------------------------------------------------
-    def _sync(self, fabric) -> None:
+    def _sync(self, fabric, executor=None) -> None:
         """Fast-forward a persistent fabric to the solve's current cycle.
 
         Both persistent fabrics live on one wafer clock: while one runs a
@@ -181,6 +197,10 @@ class DESBiCGStab:
         in ``FabricStats.skipped_cycles``.  The pre-PR engine had no
         equivalent — simulating the same timeline costs it a full-fabric
         sweep per idle cycle.
+
+        Under ``engine="sharded"`` the skip must also advance the shard
+        workers' clocks, so it is routed through the engine's
+        :class:`~repro.wse.shard.ShardedExecutor` when one exists.
         """
         now = self.report.total_cycles
         behind = now - fabric.cycle
@@ -195,8 +215,24 @@ class DESBiCGStab:
             fabric.stats.skipped_cycles += behind
             if fabric.obs is not None:
                 fabric.obs.on_skip(behind)
+            if executor is not None:
+                executor.align_clock(behind)
             return
-        fabric.skip_cycles(behind)
+        if executor is not None:
+            executor.skip(behind)
+        else:
+            fabric.skip_cycles(behind)
+
+    def close(self) -> None:
+        """Shut down the persistent engines (and any shard workers).
+
+        Optional — worker processes are also reclaimed by a finalizer
+        when the engines are garbage-collected.
+        """
+        if self._spmv_eng is not None:
+            self._spmv_eng.close()
+        if self._ar_eng is not None:
+            self._ar_eng.close()
 
     # ------------------------------------------------------------------
     # Simulated kernels
@@ -206,16 +242,16 @@ class DESBiCGStab:
         if self.persistent:
             if self._spmv_eng is None:
                 self._spmv_eng = SpmvEngine(
-                    self.operator, self.config, engine=self.engine,
-                    obs=self.obs,
+                    self.operator, self.config,
+                    options=self.options.replace(analyze=False),
                 )
-            if self.engine in ("active", "replay"):
-                self._sync(self._spmv_eng.fabric)
+            if self.engine in ("active", "replay", "sharded"):
+                self._sync(self._spmv_eng.fabric, self._spmv_eng._executor)
             u, cycles = self._spmv_eng.run(v.astype(np.float16))
         else:
             u, cycles = run_spmv_des(
                 self.operator, v.astype(np.float16), self.config,
-                engine=self.engine,
+                options=self.options.replace(obs=None, analyze=False),
             )
         self.report.spmv_cycles += cycles
         self.report.spmv_runs += 1
@@ -240,18 +276,20 @@ class DESBiCGStab:
             if self.persistent:
                 if self._ar_eng is None:
                     self._ar_eng = AllReduceEngine(
-                        nx, ny, engine=self.engine
+                        nx, ny,
+                        options=self.options.replace(obs=None, analyze=False),
                     )
                     if self.obs is not None:
                         self.obs.observe_fabric(
                             "allreduce", self._ar_eng.fabric
                         )
-                if self.engine in ("active", "replay"):
-                    self._sync(self._ar_eng.fabric)
+                if self.engine in ("active", "replay", "sharded"):
+                    self._sync(self._ar_eng.fabric, self._ar_eng._executor)
                 total, cycles = self._ar_eng.reduce(partials.T)
             else:
                 total, cycles = simulate_allreduce(
-                    partials.T, engine=self.engine
+                    partials.T,
+                    options=self.options.replace(obs=None, analyze=False),
                 )  # (rows=y, cols=x)
             self.report.allreduce_cycles += cycles
             self.report.allreduce_runs += 1
@@ -344,13 +382,13 @@ class DESBiCGStab:
             rho = rho_new
             p = self._axpy(float(beta), self._axpy(-float(omega), s, p), r)
 
-        if self.persistent and self.engine in ("active", "replay"):
+        if self.persistent and self.engine in ("active", "replay", "sharded"):
             # Close out the unified timeline: both fabrics end the solve
             # at the same wafer cycle, idle tails skipped in O(1).
             if self._spmv_eng is not None:
-                self._sync(self._spmv_eng.fabric)
+                self._sync(self._spmv_eng.fabric, self._spmv_eng._executor)
             if self._ar_eng is not None:
-                self._sync(self._ar_eng.fabric)
+                self._sync(self._ar_eng.fabric, self._ar_eng._executor)
         return SolveResult(
             x=x.astype(np.float64),
             converged=converged,

@@ -29,6 +29,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from ..api import RunOptions, coerce_options
 from ..wse.analyze import (
     InstrDecl,
     MemRef,
@@ -179,37 +180,71 @@ def build_dot_fabric(
     return fabric, acc, instr
 
 
+def _run_single_tile(fabric, instr, n: int, kernel: str,
+                     opts: RunOptions) -> None:
+    """Step a 1x1 BLAS fabric to instruction completion under ``opts``.
+
+    The sharded engine degenerates gracefully here: a single-tile
+    fabric plans exactly one shard (no seams), so the round loop is the
+    active engine plus process isolation — same cycle count.
+    """
+    start = fabric.cycle
+    if opts.engine == "sharded":
+        from ..wse.shard import run_sharded
+
+        run_sharded(
+            fabric,
+            lambda rect: (lambda f: instr.finished),
+            workers=opts.workers,
+            max_cycles=10 * n + 10,
+        )
+        return
+    if opts.sanitize:
+        fabric.attach_sanitizer()
+    try:
+        while not instr.finished:
+            fabric.step()
+            if fabric.cycle - start > 10 * n + 10:  # pragma: no cover - defensive
+                raise RuntimeError(f"{kernel} program did not finish")
+    finally:
+        if opts.sanitize:
+            fabric.detach_sanitizer()
+
+
 def run_axpy_des(
     a: float,
     x: np.ndarray,
     y: np.ndarray,
     config: MachineConfig = CS1,
-    analyze: bool = False,
-    engine: str = "active",
+    analyze: bool | None = None,
+    engine: str | None = None,
     obs=None,
+    options: RunOptions | None = None,
 ) -> tuple[np.ndarray, int]:
     """AXPY ``y + a*x`` as one tile instruction.
 
     Returns ``(result fp16 array, cycles)``.  The cycle count is the
     SIMD-4 streaming cost plus the single launch cycle; the result is
     bit-identical to :func:`repro.precision.ops.axpy` in mixed mode
-    (tested).  ``engine`` selects the fabric stepping engine; ``obs``
-    (an :class:`repro.obs.ObsSession`) records the run as an ``axpy``
-    kernel span.
+    (tested).  Execution is controlled by ``options``
+    (:class:`repro.api.RunOptions`); the bare ``engine=``/``analyze=``/
+    ``obs=`` keywords are deprecated spellings of the same thing.
     """
-    fabric, out, instr = build_axpy_fabric(a, x, y, config, analyze=analyze)
-    replay = engine == "replay"
-    fabric.engine = "active" if replay else engine
+    opts = coerce_options(options, caller="run_axpy_des",
+                          engine=engine, analyze=analyze, obs=obs)
+    fabric, out, instr = build_axpy_fabric(a, x, y, config,
+                                           analyze=opts.analyze)
+    replay = opts.engine == "replay"
+    fabric.engine = ("active" if opts.engine in ("replay", "sharded")
+                     else opts.engine)
     n = out.size
     start = fabric.cycle
     with _maybe_record(fabric, replay, "axpy"):
-        while not instr.finished:
-            fabric.step()
-            if fabric.cycle - start > 10 * n + 10:  # pragma: no cover - defensive
-                raise RuntimeError("AXPY program did not finish")
-    if obs is not None:
-        obs.tracer.record("axpy", start, fabric.cycle - start,
-                          track="kernel:blas", cat="kernel", args={"n": n})
+        _run_single_tile(fabric, instr, n, "AXPY", opts)
+    if opts.obs is not None:
+        opts.obs.tracer.record("axpy", start, fabric.cycle - start,
+                               track="kernel:blas", cat="kernel",
+                               args={"n": n})
     return out.copy(), fabric.cycle - start
 
 
@@ -217,29 +252,31 @@ def run_dot_des(
     x: np.ndarray,
     y: np.ndarray,
     config: MachineConfig = CS1,
-    analyze: bool = False,
-    engine: str = "active",
+    analyze: bool | None = None,
+    engine: str | None = None,
     obs=None,
+    options: RunOptions | None = None,
 ) -> tuple[float, int]:
     """The mixed-precision dot as one tile instruction.
 
     fp16 operands, exact products (fp32), fp32 accumulation, at the
     hardware's 2 elements per cycle.  Returns ``(value, cycles)``.
-    ``engine`` selects the fabric stepping engine; ``obs`` (an
-    :class:`repro.obs.ObsSession`) records the run as a ``dot`` kernel
-    span.
+    Execution is controlled by ``options``
+    (:class:`repro.api.RunOptions`); the bare ``engine=``/``analyze=``/
+    ``obs=`` keywords are deprecated spellings of the same thing.
     """
-    fabric, acc, instr = build_dot_fabric(x, y, config, analyze=analyze)
-    replay = engine == "replay"
-    fabric.engine = "active" if replay else engine
+    opts = coerce_options(options, caller="run_dot_des",
+                          engine=engine, analyze=analyze, obs=obs)
+    fabric, acc, instr = build_dot_fabric(x, y, config, analyze=opts.analyze)
+    replay = opts.engine == "replay"
+    fabric.engine = ("active" if opts.engine in ("replay", "sharded")
+                     else opts.engine)
     n = np.asarray(x).size
     start = fabric.cycle
     with _maybe_record(fabric, replay, "dot"):
-        while not instr.finished:
-            fabric.step()
-            if fabric.cycle - start > 10 * n + 10:  # pragma: no cover - defensive
-                raise RuntimeError("dot program did not finish")
-    if obs is not None:
-        obs.tracer.record("dot", start, fabric.cycle - start,
-                          track="kernel:blas", cat="kernel", args={"n": n})
+        _run_single_tile(fabric, instr, n, "dot", opts)
+    if opts.obs is not None:
+        opts.obs.tracer.record("dot", start, fabric.cycle - start,
+                               track="kernel:blas", cat="kernel",
+                               args={"n": n})
     return float(acc.value), fabric.cycle - start

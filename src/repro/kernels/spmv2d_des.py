@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api import RunOptions, coerce_options
 from ..problems.stencil9 import OFFSETS_9PT, Stencil9
 from ..wse.analyze import (
     FabricRef,
@@ -371,28 +372,34 @@ def run_spmv2d_des(
     block_shape: tuple[int, int],
     config: MachineConfig = CS1,
     max_cycles: int = 500_000,
-    analyze: bool = False,
-    engine: str = "active",
+    analyze: bool | None = None,
+    engine: str | None = None,
     obs=None,
+    options: RunOptions | None = None,
 ) -> tuple[np.ndarray, int]:
     """Run the 2D-mapping SpMV on the tile simulator.
 
     Returns ``(u, cycles)`` with ``u`` the assembled fp16-arithmetic
-    result (float64-valued array).  ``engine`` selects the fabric
-    stepping engine (``"active"`` or the ``"reference"`` sweep).
-    ``obs`` (an :class:`repro.obs.ObsSession`) attaches a fabric
-    observer and records the run as a ``spmv2d`` kernel span.
+    result (float64-valued array).  Execution is controlled by
+    ``options`` (:class:`repro.api.RunOptions`); the bare
+    ``engine=``/``analyze=``/``obs=`` keywords are deprecated spellings
+    of the same thing.
     """
+    opts = coerce_options(options, caller="run_spmv2d_des",
+                          engine=engine, analyze=analyze, obs=obs)
     nx, ny = op.shape
     bx, by = block_shape
-    replay = engine == "replay"
+    replay = opts.engine == "replay"
     fabric, programs = build_spmv2d_fabric(
-        op, v, block_shape, config, analyze=analyze,
-        engine="active" if replay else engine,
+        op, v, block_shape, config, analyze=opts.analyze,
+        engine=("active" if opts.engine in ("replay", "sharded")
+                else opts.engine),
     )
     px, py = nx // bx, ny // by
-    if obs is not None:
-        obs.observe_fabric(obs.unique_fabric_name("spmv2d"), fabric)
+    if opts.obs is not None:
+        opts.obs.observe_fabric(
+            opts.obs.unique_fabric_name("spmv2d"), fabric)
+    obs = opts.obs
 
     def finished(f: Fabric) -> bool:
         return f.quiescent() and all(
@@ -400,7 +407,23 @@ def run_spmv2d_des(
         )
 
     start = fabric.cycle
-    if replay:
+    if opts.engine == "sharded":
+        from ..wse.shard import run_sharded
+
+        def until_factory(rect):
+            blocks = [(bi, bj) for bj in range(rect.y0, rect.y1)
+                      for bi in range(rect.x0, rect.x1)]
+
+            def local_done(f, blocks=blocks):
+                return f.quiescent() and all(
+                    programs[bj][bi].done for (bi, bj) in blocks
+                )
+
+            return local_done
+
+        cycles = run_sharded(fabric, until_factory, workers=opts.workers,
+                             max_cycles=max_cycles)
+    elif replay:
         # One-shot runner: record the single live execution and prove
         # the compiled schedule reproduces it bit-for-bit.
         from ..wse.replay import ReplaySession
@@ -419,7 +442,8 @@ def run_spmv2d_des(
         else:
             cycles = fabric.run(max_cycles=max_cycles, until=finished)
     else:
-        cycles = fabric.run(max_cycles=max_cycles, until=finished)
+        cycles = fabric.run(max_cycles=max_cycles, until=finished,
+                            sanitize=opts.sanitize)
     if obs is not None:
         obs.tracer.record("spmv2d", start, fabric.cycle - start,
                           track="kernel:spmv2d", cat="kernel",

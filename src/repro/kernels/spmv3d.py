@@ -42,6 +42,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api import RunOptions, coerce_options
 from ..problems.stencil7 import Stencil7
 from ..wse.analyze import (
     DrainDecl,
@@ -466,18 +467,27 @@ class SpmvEngine:
         op: Stencil7,
         config: MachineConfig = CS1,
         fifo_capacity: int = 20,
-        engine: str = "active",
+        engine: str | None = None,
         obs=None,
         obs_name: str = "spmv",
+        options: RunOptions | None = None,
     ):
+        opts = coerce_options(options, caller="SpmvEngine",
+                              engine=engine, obs=obs)
+        self.options = opts
+        engine = opts.engine
+        obs = opts.obs
         self.op = op
         self.fabric, self.programs = build_spmv_fabric(
             op, np.zeros(op.shape), config, fifo_capacity
         )
         self.engine = engine
         # "replay" records the first run() on the live active-set engine
-        # and replays later runs as the compiled schedule.
-        self.fabric.engine = "active" if engine == "replay" else engine
+        # and replays later runs as the compiled schedule; "sharded"
+        # forks shard workers that each step their rectangle with it.
+        self.fabric.engine = (
+            "active" if engine in ("replay", "sharded") else engine
+        )
         self.runs = 0
         #: Optional :class:`repro.obs.ObsSession` — attached *before*
         #: the warm-up run so the observer's cycle accounting is exact
@@ -488,6 +498,10 @@ class SpmvEngine:
         # The build activates each tile's spmv task for a first run over
         # the zero vector; consume it so run() starts clean.
         self.replay = None
+        #: Shard coordinator (``engine="sharded"`` only); forked on the
+        #: warm-up below so the program state rides the fork and every
+        #: later re-arm travels as pokes.
+        self._executor = None
         if engine == "replay":
             # Prove schedule determinism on the freshly built program
             # (the task-graph pass inspects live activation state, which
@@ -499,6 +513,35 @@ class SpmvEngine:
         if obs is not None:
             obs.tracer.record("spmv.warmup", self.fabric.cycle - warm, warm,
                               track="kernel:spmv", cat="kernel")
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            from ..wse.shard import ShardedExecutor
+
+            nx, ny, nz = self.op.shape
+            programs = self.programs
+
+            def until_factory(rect):
+                tiles = [(i, j) for j in range(rect.y0, rect.y1)
+                         for i in range(rect.x0, rect.x1)]
+
+                def local_done(f, tiles=tiles):
+                    return f.quiescent() and all(
+                        programs[j][i].done for (i, j) in tiles
+                    )
+
+                return local_done
+
+            self._executor = ShardedExecutor(
+                self.fabric, workers=self.options.workers,
+                until_factory=until_factory,
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Release shard workers (no-op for in-process engines)."""
+        if self._executor is not None:
+            self._executor.close()
 
     def _configure_recording(self, rec) -> None:
         """Register each tile's operand/coefficient arrays: ``v`` cells
@@ -532,6 +575,11 @@ class SpmvEngine:
     def _execute(self) -> int:
         nx, ny, nz = self.op.shape
         start = self.fabric.cycle
+        if self.engine == "sharded":
+            ex = self._ensure_executor()
+            ex.run(max_cycles=200_000 + start)
+            ex.harvest()
+            return self.fabric.cycle - start
 
         def finished(f: Fabric) -> bool:
             # quiescent() first: under the active-set engine it rejects
@@ -562,13 +610,29 @@ class SpmvEngine:
                 for i in range(nx):
                     u[i, j, :] = self.programs[j][i].result().astype(np.float64)
             return u, cycles
-        for j in range(ny):
-            for i in range(nx):
-                prog = self.programs[j][i]
-                prog.v[:nz] = v16[i, j, :]
-                prog.v[nz] = np.float16(0.0)
-                prog.core.flags["spmv_done"] = False
-                prog.core.scheduler.activate("spmv")
+        if self._executor is not None:
+            # Sharded re-arm: the authoritative copies live in the
+            # forked workers, so the direct writes below travel as
+            # pokes (the parent-side v update keeps this object's
+            # buffers coherent for inspection).
+            ops = []
+            for j in range(ny):
+                for i in range(nx):
+                    prog = self.programs[j][i]
+                    prog.v[:nz] = v16[i, j, :]
+                    prog.v[nz] = np.float16(0.0)
+                    ops.append(("mem_set", i, j, "v", prog.v.copy()))
+                    ops.append(("flag", i, j, "spmv_done", False))
+                    ops.append(("activate", i, j, "spmv"))
+            self._executor.poke(ops)
+        else:
+            for j in range(ny):
+                for i in range(nx):
+                    prog = self.programs[j][i]
+                    prog.v[:nz] = v16[i, j, :]
+                    prog.v[nz] = np.float16(0.0)
+                    prog.core.flags["spmv_done"] = False
+                    prog.core.scheduler.activate("spmv")
         if session is not None and session.enabled:
             with session.record(configure=self._configure_recording):
                 cycles = self._execute()
@@ -594,28 +658,53 @@ def run_spmv_des(
     fifo_capacity: int = 20,
     max_cycles: int = 200_000,
     two_sum_tasks: bool = False,
-    engine: str = "active",
-    analyze: bool = False,
+    engine: str | None = None,
+    analyze: bool | None = None,
+    options: RunOptions | None = None,
 ) -> tuple[np.ndarray, int]:
     """Run the discrete simulation of one SpMV; returns ``(u, cycles)``.
 
     ``u`` is fp16-valued (returned as float64 for convenience) and equals
     the fp16-arithmetic 7-point matvec; the cycle count is the fabric
     cycle at which every tile's completion tree fired and the fabric
-    drained.
+    drained.  Execution is controlled by ``options``
+    (:class:`repro.api.RunOptions`); the bare ``engine=``/``analyze=``
+    keywords are deprecated spellings of the same thing.
     """
+    opts = coerce_options(options, caller="run_spmv_des",
+                          engine=engine, analyze=analyze)
+    engine = opts.engine
     fabric, programs = build_spmv_fabric(op, v, config, fifo_capacity,
-                                         two_sum_tasks, analyze=analyze)
+                                         two_sum_tasks, analyze=opts.analyze)
     replay = engine == "replay"
-    fabric.engine = "active" if replay else engine
+    fabric.engine = "active" if engine in ("replay", "sharded") else engine
     nx, ny, nz = op.shape
+    if opts.obs is not None:
+        opts.obs.observe_fabric(
+            opts.obs.unique_fabric_name("spmv"), fabric)
 
     def finished(f: Fabric) -> bool:
         return f.quiescent() and all(
             programs[j][i].done for j in range(ny) for i in range(nx)
         )
 
-    if replay:
+    if engine == "sharded":
+        from ..wse.shard import run_sharded
+
+        def until_factory(rect):
+            tiles = [(i, j) for j in range(rect.y0, rect.y1)
+                     for i in range(rect.x0, rect.x1)]
+
+            def local_done(f, tiles=tiles):
+                return f.quiescent() and all(
+                    programs[j][i].done for (i, j) in tiles
+                )
+
+            return local_done
+
+        cycles = run_sharded(fabric, until_factory, workers=opts.workers,
+                             max_cycles=max_cycles)
+    elif replay:
         # One-shot runners record the single live execution and prove
         # the compiled schedule reproduces it bit-for-bit (the recorded
         # results themselves are returned either way).
@@ -635,7 +724,8 @@ def run_spmv_des(
         else:
             cycles = fabric.run(max_cycles=max_cycles, until=finished)
     else:
-        cycles = fabric.run(max_cycles=max_cycles, until=finished)
+        cycles = fabric.run(max_cycles=max_cycles, until=finished,
+                            sanitize=opts.sanitize)
     u = np.empty(op.shape, dtype=np.float64)
     for j in range(ny):
         for i in range(nx):

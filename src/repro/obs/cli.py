@@ -36,20 +36,24 @@ __all__ = [
 ]
 
 
-def run_traced_solve(shape=(8, 8, 8), rtol: float = 5e-3, maxiter: int = 12):
+def run_traced_solve(shape=(8, 8, 8), rtol: float = 5e-3, maxiter: int = 12,
+                     engine: str = "active", workers: int = 1):
     """Solve the momentum system in DES mode under observation.
 
     Returns ``(session, solver, result)`` with metrics already
     harvested.
     """
+    from ..api import RunOptions
     from ..kernels.bicgstab_des import DESBiCGStab
     from ..problems import momentum_system
     from .session import ObsSession
 
     sys_ = momentum_system(tuple(shape), reynolds=50.0, dt=0.02)
     obs = ObsSession()
-    solver = DESBiCGStab(sys_.operator, obs=obs)
+    solver = DESBiCGStab(sys_.operator, options=RunOptions(
+        engine=engine, workers=workers, obs=obs))
     result = solver.solve(sys_.b, rtol=rtol, maxiter=maxiter)
+    solver.close()
     obs.harvest()
     return obs, solver, result
 
@@ -117,10 +121,14 @@ def trace_main(argv: list[str] | None = None) -> int:
         "--no-files", action="store_true",
         help="print the reports only; write nothing",
     )
+    from ..api import add_engine_arguments
+
+    add_engine_arguments(parser)
     args = parser.parse_args(argv)
 
     obs, solver, result = run_traced_solve(
         shape=tuple(args.shape), rtol=args.rtol, maxiter=args.maxiter,
+        engine=args.engine, workers=args.workers,
     )
     print("\n".join(_summary_lines(obs, solver, result)))
 
@@ -153,13 +161,15 @@ def run_profiled_solve(shape=(8, 8, 8), rtol: float = 5e-3,
     :class:`~repro.obs.profile.CycleProfiler` per observed fabric
     (``session.profiles``), metrics already harvested.
     """
+    from ..api import RunOptions
     from ..kernels.bicgstab_des import DESBiCGStab
     from ..problems import momentum_system
     from .session import ObsSession
 
     sys_ = momentum_system(tuple(shape), reynolds=50.0, dt=0.02)
     obs = ObsSession(profile=True)
-    solver = DESBiCGStab(sys_.operator, engine=engine, obs=obs)
+    solver = DESBiCGStab(sys_.operator, options=RunOptions(
+        engine=engine, obs=obs))
     result = solver.solve(sys_.b, rtol=rtol, maxiter=maxiter)
     obs.harvest()
     return obs, solver, result
@@ -251,10 +261,6 @@ def profile_main(argv: list[str] | None = None) -> int:
         "--rtol", type=float, default=5e-3, help="relative tolerance",
     )
     parser.add_argument(
-        "--engine", choices=("active", "reference", "replay"),
-        default="active", help="fabric stepping engine (default: active)",
-    )
-    parser.add_argument(
         "--out", default="profile_trace.json",
         help="Chrome-trace JSON output path (default: profile_trace.json)",
     )
@@ -266,7 +272,15 @@ def profile_main(argv: list[str] | None = None) -> int:
         "--no-files", action="store_true",
         help="print the reports only; write nothing",
     )
+    from ..api import add_engine_arguments
+
+    add_engine_arguments(parser)
     args = parser.parse_args(argv)
+    if args.engine == "sharded":
+        print("profile: the cycle profiler needs the whole fabric "
+              "in-process; --engine sharded is unsupported (profile under "
+              "active — sharded runs are bit-identical to it)")
+        return 2
 
     obs, solver, result = run_profiled_solve(
         shape=tuple(args.shape), rtol=args.rtol, maxiter=args.maxiter,

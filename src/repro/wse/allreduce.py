@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api import RunOptions, coerce_options
 from .config import CS1, MachineConfig
 from .fabric import Fabric
 from .sanitizer import _ShadowWord
@@ -529,8 +530,12 @@ class AllReduceEngine:
 
     def __init__(
         self, width: int, height: int, queue_capacity: int = 8,
-        engine: str = "active",
+        engine: str | None = None, options: RunOptions | None = None,
     ):
+        opts = coerce_options(options, caller="AllReduceEngine",
+                              engine=engine)
+        self.options = opts
+        engine = opts.engine
         if width < 2 or height < 2:
             raise ValueError("AllReduce pattern needs a fabric of at least 2x2")
         self.width = width
@@ -539,8 +544,11 @@ class AllReduceEngine:
         self.fabric = Fabric(width, height, queue_capacity)
         # "replay" is an orchestration layer over the active engine: the
         # first reduce records on the live active-set stepper, later
-        # reduces replay the compiled schedule.
-        self.fabric.engine = "active" if engine == "replay" else engine
+        # reduces replay the compiled schedule.  "sharded" forks workers
+        # that each step their rectangle with the active engine.
+        self.fabric.engine = (
+            "active" if engine in ("replay", "sharded") else engine
+        )
         compile_to_fabric(allreduce_pattern(width, height), self.fabric)
         self.cores: list[ReduceCore] = []
         for y in range(height):
@@ -556,11 +564,36 @@ class AllReduceEngine:
         # program: exact per-link words per reduce, cycle lower bound.
         self.fabric.static_contract = compute_contract(self.fabric)
         self.replay = None
+        self._executor = None
         if engine == "replay":
             from .replay import ReplaySession
 
             self.replay = ReplaySession(self.fabric, label="allreduce")
+        elif engine == "sharded":
+            from .shard import ShardedExecutor
+
+            cores = self.cores
+
+            def until_factory(rect):
+                local = [c for c in cores if rect.contains(c.x, c.y)]
+
+                def local_done(f, local=local):
+                    return f.quiescent() and all(
+                        c.result is not None for c in local
+                    )
+
+                return local_done
+
+            self._executor = ShardedExecutor(
+                self.fabric, workers=opts.workers,
+                until_factory=until_factory,
+            )
         self.runs = 0
+
+    def close(self) -> None:
+        """Release shard workers (no-op for in-process engines)."""
+        if self._executor is not None:
+            self._executor.close()
 
     def reduce(self, values: np.ndarray) -> tuple[float, int]:
         """All-reduce one grid of per-tile scalars; returns (sum, cycles)."""
@@ -591,6 +624,26 @@ class AllReduceEngine:
 
     def _reduce_live(self, values: np.ndarray) -> tuple[float, int]:
         cores = self.cores
+        if self._executor is not None:
+            # Sharded: the authoritative cores live in the forked
+            # workers — re-arm them with pokes, run the lockstep
+            # rounds, then pull the results back into the parent.
+            ex = self._executor
+            ex.poke([
+                ("reduce_reset", x, y, float(values[y][x]))
+                for y in range(self.height) for x in range(self.width)
+            ])
+            fabric = self.fabric
+            start = fabric.cycle
+            ex.run(max_cycles=50 * (self.width + self.height) + 1000)
+            ex.harvest()
+            results = {float(c.result) for c in cores}
+            if len(results) != 1:
+                raise AssertionError(
+                    f"AllReduce delivered differing results: {results}"
+                )
+            self.runs += 1
+            return results.pop(), fabric.cycle - start
         k = 0
         for y in range(self.height):
             row = values[y]
@@ -615,7 +668,8 @@ class AllReduceEngine:
 
 
 def simulate_allreduce(
-    values: np.ndarray, queue_capacity: int = 8, engine: str = "active"
+    values: np.ndarray, queue_capacity: int = 8,
+    engine: str | None = None, options: RunOptions | None = None,
 ) -> tuple[float, int]:
     """Run the collective on a freshly built simulated fabric.
 
@@ -623,8 +677,9 @@ def simulate_allreduce(
     ----------
     values:
         Per-tile scalars, shape ``(height, width)``.
-    engine:
-        Fabric step engine: "active" (default) or "reference".
+    options:
+        Execution options (:class:`repro.api.RunOptions`); the bare
+        ``engine=`` keyword is the deprecated spelling.
 
     Returns
     -------
@@ -633,11 +688,15 @@ def simulate_allreduce(
         and the cycle count from first injection to the last core
         receiving the broadcast.
     """
+    opts = coerce_options(options, caller="simulate_allreduce",
+                          engine=engine)
     values = np.asarray(values, dtype=np.float32)
     height, width = values.shape
-    return AllReduceEngine(
-        width, height, queue_capacity, engine=engine
-    ).reduce(values)
+    eng = AllReduceEngine(width, height, queue_capacity, options=opts)
+    try:
+        return eng.reduce(values)
+    finally:
+        eng.close()
 
 
 def allreduce_latency_cycles(

@@ -412,12 +412,15 @@ def certify_main(argv=None) -> int:
         description="Certify static numerics bounds against fp64 shadow "
                     "execution on every shipped program.",
     )
-    parser.add_argument("--engine", default="active",
-                        choices=("active", "replay"),
-                        help="execution engine for the shadowed runs")
-    parser.add_argument("--json", action="store_true",
-                        help="emit one JSON line per program")
+    from ...api import add_engine_arguments
+
+    add_engine_arguments(parser, workers=False, json_flag=True)
     args = parser.parse_args(argv)
+    if args.engine in ("reference", "sharded"):
+        print(f"certify-numerics: the fp64 shadow executor drives the "
+              f"instruction stepper in-process; --engine {args.engine} is "
+              "unsupported (certify under active or replay)")
+        return 2
 
     checks = certify_all(engine=args.engine)
     bad = 0

@@ -140,14 +140,15 @@ def lint_main(argv: list[str] | None = None) -> int:
     With ``--json``, emit one JSON diagnostic object per line (nothing
     else on stdout) and exit non-zero iff any diagnostic is an error.
     """
+    from ...api import add_engine_arguments
+
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="Statically analyze every shipped wafer program.",
     )
-    parser.add_argument(
-        "--json", action="store_true",
-        help="one JSON diagnostic object per line; exit 1 on any error",
-    )
+    # Shared fragment: lint is static (no engine runs), so only --json.
+    add_engine_arguments(parser, engine=False, workers=False,
+                         json_flag=True)
     args = parser.parse_args(argv if argv is not None else [])
     if args.json:
         lines, any_error = lint_json_lines()

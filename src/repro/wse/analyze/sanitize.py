@@ -291,11 +291,15 @@ def sanitize_main(argv: list[str] | None = None) -> int:
             "bit-identical to an unsanitized run."
         ),
     )
-    parser.add_argument(
-        "--engine", choices=("active", "reference", "both"),
-        default="active", help="fabric stepping engine (default: active)",
-    )
+    from ...api import add_engine_arguments
+
+    add_engine_arguments(parser, extra_choices=("both",), workers=False)
     args = parser.parse_args(argv if argv is not None else [])
+    if args.engine in ("replay", "sharded"):
+        print(f"sanitize: the race sanitizer instruments live whole-fabric "
+              f"stepping; --engine {args.engine} is unsupported (sanitize "
+              "under active — the other engines are bit-identical to it)")
+        return 2
     engines = (
         ("active", "reference") if args.engine == "both" else (args.engine,)
     )

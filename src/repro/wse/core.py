@@ -23,7 +23,14 @@ import numpy as np
 
 from .analyze.spec import ProgramDecl
 from .config import MachineConfig
-from .dsr import FabricRx, FabricTx, FifoPop, FifoPush, Instruction
+from .dsr import (
+    FabricRx,
+    FabricTx,
+    FifoPop,
+    FifoPush,
+    Instruction,
+    ScalarAccumulator,
+)
 from .fifo import HardwareFifo
 from .memory import TileMemory
 from .task import TaskScheduler
@@ -65,6 +72,12 @@ class Core:
         self.flags: dict[str, bool] = {}
         #: Hardware FIFOs created via :meth:`make_fifo`, by name.
         self.fifos: dict[str, HardwareFifo] = {}
+        #: Named :class:`~repro.wse.dsr.ScalarAccumulator` destinations
+        #: seen by :meth:`launch`, keyed by accumulator name.  Register
+        #: state lives outside :class:`TileMemory`, so this is the only
+        #: generic handle a checkpoint/harvest pass (the sharded
+        #: engine's per-worker state merge) has on reduction results.
+        self._accumulators: dict[str, object] = {}
         #: Static program declaration for the analyzer
         #: (:mod:`repro.wse.analyze`).  Builders populate this alongside
         #: the runtime program; empty means "opted out of
@@ -183,6 +196,9 @@ class Core:
     def launch(self, instr: Instruction, thread: int | None = None) -> None:
         """Start an instruction: in a background thread slot, or queued on
         the main thread when ``thread`` is None."""
+        dst = getattr(instr, "dst", None)
+        if isinstance(dst, ScalarAccumulator) and dst.name:
+            self._accumulators[dst.name] = dst
         if thread is None:
             self.main.append(instr)
             if self.sanitizer is not None:

@@ -1,0 +1,224 @@
+"""Tests for :mod:`repro.api` — RunOptions, Session, and the shims.
+
+Three contracts live here: the :class:`RunOptions` value object rejects
+every inconsistent combination at construction (so runners never have
+to re-validate), the legacy runner keywords keep working but warn with
+the documented removal schedule, and the shared CLI fragment spells
+``--engine``/``--workers``/``--json`` identically for every subcommand.
+"""
+
+import argparse
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ENGINES,
+    AllReduce,
+    Axpy,
+    Dot,
+    RunOptions,
+    Session,
+    Spmv3D,
+    add_engine_arguments,
+    coerce_options,
+    options_from_args,
+)
+
+
+class TestRunOptions:
+    def test_defaults(self):
+        opts = RunOptions()
+        assert (opts.engine, opts.workers) == ("active", 1)
+        assert not opts.sanitize and not opts.analyze and not opts.profile
+        assert opts.obs is None
+
+    def test_engine_must_be_known(self):
+        assert ENGINES == ("reference", "active", "replay", "sharded")
+        with pytest.raises(ValueError, match="engine"):
+            RunOptions(engine="turbo")
+
+    @pytest.mark.parametrize("workers", [0, -1, 1.5, "2"])
+    def test_workers_must_be_positive_int(self, workers):
+        with pytest.raises(ValueError, match="workers"):
+            RunOptions(engine="sharded", workers=workers)
+
+    def test_workers_above_one_require_sharded(self):
+        with pytest.raises(ValueError, match="requires engine='sharded'"):
+            RunOptions(engine="active", workers=2)
+        assert RunOptions(engine="sharded", workers=4).workers == 4
+
+    def test_sharded_rejects_sanitize_and_profile(self):
+        with pytest.raises(ValueError, match="sanitize"):
+            RunOptions(engine="sharded", sanitize=True)
+        with pytest.raises(ValueError, match="profile"):
+            RunOptions(engine="sharded", profile=True, obs=object())
+
+    def test_profile_requires_obs(self):
+        with pytest.raises(ValueError, match="obs"):
+            RunOptions(profile=True)
+        assert RunOptions(profile=True, obs=object()).profile
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RunOptions().engine = "replay"
+
+    def test_replace_revalidates(self):
+        opts = RunOptions(engine="sharded", workers=4)
+        assert opts.replace(workers=2) == RunOptions(engine="sharded",
+                                                     workers=2)
+        assert opts.workers == 4  # original untouched
+        with pytest.raises(ValueError):
+            opts.replace(engine="active")  # workers=4 now inconsistent
+
+
+class TestCoerceOptions:
+    def test_no_arguments_yields_defaults(self):
+        assert coerce_options(None, caller="x") == RunOptions()
+
+    def test_options_passed_through_unchanged(self):
+        opts = RunOptions(engine="replay")
+        assert coerce_options(opts, caller="x") is opts
+
+    def test_legacy_keyword_warns_with_schedule(self):
+        with pytest.warns(DeprecationWarning,
+                          match=r"myrunner.*engine.*PR 12"):
+            opts = coerce_options(None, caller="myrunner", engine="replay")
+        assert opts == RunOptions(engine="replay")
+
+    def test_none_valued_legacy_keywords_are_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            opts = coerce_options(None, caller="x", engine=None, obs=None)
+        assert opts == RunOptions()
+
+    def test_both_spellings_is_an_error(self):
+        with pytest.raises(TypeError, match="not both"):
+            coerce_options(RunOptions(), caller="x", engine="active")
+
+    def test_unknown_legacy_keyword_is_an_error(self):
+        with pytest.raises(TypeError, match="unknown option"):
+            coerce_options(None, caller="x", engin="active")
+
+    def test_options_type_checked(self):
+        with pytest.raises(TypeError, match="RunOptions"):
+            coerce_options({"engine": "active"}, caller="x")
+
+
+class TestRunnerShims:
+    """The pre-PR keyword spellings still work, warning once."""
+
+    def test_run_spmv_des_engine_kwarg(self):
+        from repro.kernels import run_spmv_des
+        from repro.problems import Stencil7
+
+        op, _, _ = Stencil7.from_random(
+            (2, 2, 4), rng=np.random.default_rng(0)).jacobi_precondition()
+        v = np.ones(op.shape)
+        with pytest.warns(DeprecationWarning, match="run_spmv_des"):
+            u_old, c_old = run_spmv_des(op, v, engine="active")
+        u_new, c_new = run_spmv_des(op, v, options=RunOptions())
+        assert c_old == c_new
+        np.testing.assert_array_equal(u_old, u_new)
+
+    def test_allreduce_engine_kwarg(self):
+        from repro.wse.allreduce import AllReduceEngine
+
+        with pytest.warns(DeprecationWarning, match="AllReduceEngine"):
+            eng = AllReduceEngine(2, 2, engine="active")
+        eng.close()
+
+    def test_bicgstab_engine_kwarg(self):
+        from repro.kernels.bicgstab_des import DESBiCGStab
+        from repro.problems import momentum_system
+
+        system = momentum_system((2, 2, 4), reynolds=50.0, dt=0.02)
+        with pytest.warns(DeprecationWarning, match="DESBiCGStab"):
+            solver = DESBiCGStab(system.operator, engine="active")
+        assert solver.options == RunOptions()
+        solver.close()
+
+
+class TestSession:
+    def test_default_options(self):
+        assert Session().options == RunOptions()
+        with pytest.raises(TypeError):
+            Session(options={"engine": "active"})
+
+    def test_run_rejects_non_options_override(self):
+        with pytest.raises(TypeError):
+            Session().run(Axpy(1.0, np.ones(4), np.ones(4)),
+                          options="active")
+
+    def test_facade_matches_direct_runners(self):
+        from repro.kernels import run_dot_des
+        from repro.problems import Stencil7
+
+        x = np.random.default_rng(1).random(9).astype(np.float16)
+        y = np.random.default_rng(2).random(9).astype(np.float16)
+        session = Session()
+        d_facade, c_facade = session.run(Dot(x, y))
+        d_direct, c_direct = run_dot_des(x, y, options=RunOptions())
+        assert (d_facade, c_facade) == (d_direct, c_direct)
+
+        op, _, _ = Stencil7.from_random(
+            (2, 2, 4), rng=np.random.default_rng(3)).jacobi_precondition()
+        v = 0.1 * np.random.default_rng(4).standard_normal(op.shape)
+        u_act, c_act = session.run(Spmv3D(op, v))
+        u_sh, c_sh = session.run(
+            Spmv3D(op, v), options=RunOptions(engine="sharded", workers=2))
+        assert c_sh == c_act
+        np.testing.assert_array_equal(u_sh, u_act)
+
+    def test_session_pins_engine_across_programs(self):
+        session = Session(RunOptions(engine="sharded", workers=2))
+        vals = np.arange(6, dtype=np.float64).reshape(2, 3)
+        total, cycles = session.run(AllReduce(vals))
+        assert total == pytest.approx(vals.sum())
+        assert cycles > 0
+
+
+class TestCliFragment:
+    def _parser(self, **kw):
+        parser = argparse.ArgumentParser()
+        add_engine_arguments(parser, **kw)
+        return parser
+
+    def test_engine_and_workers_spelling(self):
+        args = self._parser().parse_args(
+            ["--engine", "sharded", "--workers", "4"])
+        opts = options_from_args(args)
+        assert opts == RunOptions(engine="sharded", workers=4)
+
+    def test_workers_ignored_without_sharded(self):
+        args = self._parser().parse_args(["--engine", "active",
+                                          "--workers", "4"])
+        assert options_from_args(args) == RunOptions()
+
+    def test_unknown_engine_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            self._parser().parse_args(["--engine", "turbo"])
+
+    def test_extra_choices(self):
+        parser = self._parser(extra_choices=("both", "all"))
+        assert parser.parse_args(["--engine", "all"]).engine == "all"
+
+    def test_json_flag_opt_in(self):
+        parser = self._parser(json_flag=True)
+        assert parser.parse_args(["--json"]).json is True
+        with pytest.raises(SystemExit):
+            self._parser().parse_args(["--json"])
+
+    def test_engine_and_workers_opt_out(self):
+        parser = self._parser(engine=False, workers=False, json_flag=True)
+        args = parser.parse_args(["--json"])
+        assert not hasattr(args, "engine") and not hasattr(args, "workers")
+        # options_from_args degrades to defaults for such subcommands.
+        assert options_from_args(args) == RunOptions()
+
+    def test_overrides(self):
+        args = self._parser().parse_args(["--engine", "replay"])
+        opts = options_from_args(args, analyze=True)
+        assert opts == RunOptions(engine="replay", analyze=True)

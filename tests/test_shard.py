@@ -1,0 +1,151 @@
+"""Unit tests for :mod:`repro.wse.shard` — the planner and executor.
+
+The bit-identity of sharded runs against the other engines lives in
+``test_engine_equivalence.py``; this file pins the mechanics around
+them: the strip planner's clamping and axis selection, the executor's
+constructor validation and between-run controls (poke routing, skip
+and clock bookkeeping), and the host-capacity probe the benchmark's
+speedup gate keys on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.wse import Fabric
+from repro.wse.shard import (
+    ShardedExecutor,
+    ShardPlan,
+    available_workers,
+    plan_shards,
+    run_sharded,
+)
+
+
+class TestPlanShards:
+    def test_balanced_contiguous_strips(self):
+        rects = plan_shards(10, 4, 4, axis="x")
+        assert len(rects) == 4
+        assert [r.x1 - r.x0 for r in rects] == [3, 3, 2, 2]
+        assert all((r.y0, r.y1) == (0, 4) for r in rects)
+        # Contiguous, in order, tiling the grid exactly.
+        assert rects[0].x0 == 0 and rects[-1].x1 == 10
+        for a, b in zip(rects, rects[1:]):
+            assert a.x1 == b.x0
+        assert sum(r.tiles for r in rects) == 40
+
+    def test_default_axis_is_longer_dimension(self):
+        assert all(r.y1 - r.y0 == 6 for r in plan_shards(8, 6, 2))   # x split
+        assert all(r.x1 - r.x0 == 6 for r in plan_shards(6, 8, 2))   # y split
+        # Ties split on x.
+        assert all(r.y1 - r.y0 == 5 for r in plan_shards(5, 5, 2))
+
+    def test_workers_clamped_to_split_extent(self):
+        assert len(plan_shards(1, 1, 8)) == 1
+        assert len(plan_shards(3, 1, 8, axis="x")) == 3
+        assert len(plan_shards(4, 2, 8, axis="y")) == 2
+
+    def test_contains(self):
+        r = ShardPlan(1, 0, 3, 2)
+        assert r.contains(1, 0) and r.contains(2, 1)
+        assert not r.contains(3, 0) and not r.contains(0, 0)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="workers"):
+            plan_shards(4, 4, 0)
+        with pytest.raises(ValueError, match="axis"):
+            plan_shards(4, 4, 2, axis="z")
+
+
+class TestAvailableWorkers:
+    def test_positive_int(self):
+        n = available_workers()
+        assert isinstance(n, int) and n >= 1
+
+
+class TestExecutorValidation:
+    def test_lookahead_must_be_positive(self):
+        with pytest.raises(ValueError, match="lookahead"):
+            ShardedExecutor(Fabric(2, 2), workers=2, lookahead=0)
+
+    def test_rejects_attached_sanitizer(self):
+        f = Fabric(2, 2)
+        f.attach_sanitizer()
+        with pytest.raises(ValueError, match="sanitizer"):
+            ShardedExecutor(f, workers=2)
+
+    def test_rejects_attached_profiler(self):
+        f = Fabric(2, 2)
+        f.profiler = object()  # as the obs session's profiler hook does
+        with pytest.raises(ValueError, match="profiler"):
+            ShardedExecutor(f, workers=2)
+
+
+class TestExecutorControls:
+    def test_empty_fabric_runs_to_quiescence_like_active(self):
+        mono = Fabric(3, 2)
+        mono.engine = "active"
+        cycles_mono = mono.run(max_cycles=100)
+        f = Fabric(3, 2)
+        f.engine = "active"
+        assert run_sharded(f, workers=2, max_cycles=100) == cycles_mono
+        assert f.cycle == mono.cycle
+
+    def test_context_manager_and_idempotent_close(self):
+        with ShardedExecutor(Fabric(4, 1), workers=2) as ex:
+            assert ex.workers == 2
+            assert all(p.is_alive() for p in ex._procs)
+        assert all(not p.is_alive() for p in ex._procs)
+        ex.close()  # second close is a no-op
+
+    def test_skip_bookkeeping(self):
+        f = Fabric(2, 2)
+        with ShardedExecutor(f, workers=2) as ex:
+            ex.skip(7)
+            assert f.cycle == 7
+            assert f.stats.cycles == 7
+            assert f.stats.skipped_cycles == 7
+            ex.skip(0)  # no-op, no broadcast round
+            assert f.cycle == 7
+            with pytest.raises(ValueError, match="negative"):
+                ex.skip(-1)
+
+    def test_align_clock_leaves_parent_bookkeeping_to_caller(self):
+        f = Fabric(2, 2)
+        with ShardedExecutor(f, workers=2) as ex:
+            ex.align_clock(5)
+            # Workers advanced; the parent fabric is the caller's job
+            # (mirroring the monolithic direct ``fabric.cycle`` write).
+            assert f.cycle == 0
+
+    def test_poke_outside_fabric_raises(self):
+        with ShardedExecutor(Fabric(2, 2), workers=2) as ex:
+            with pytest.raises(ValueError, match="outside"):
+                ex.poke([("flag", 5, 0, "go", True)])
+
+    def test_worker_death_is_reported(self):
+        with ShardedExecutor(Fabric(4, 1), workers=2) as ex:
+            ex._procs[1].terminate()
+            ex._procs[1].join()
+            with pytest.raises(RuntimeError, match="died unexpectedly"):
+                ex._broadcast(("skip", 1))
+
+
+class TestHarvest:
+    def test_router_words_written_back(self):
+        """After a run + harvest the parent's per-router counters carry
+        the workers' counts (equivalence tests pin the exact values)."""
+        from repro.wse.allreduce import AllReduceEngine
+        from repro.api import RunOptions
+
+        eng = AllReduceEngine(4, 3, options=RunOptions(
+            engine="sharded", workers=2))
+        try:
+            vals = np.arange(12, dtype=np.float64).reshape(3, 4)
+            total, cycles = eng.reduce(vals)
+        finally:
+            eng.close()
+        assert cycles > 0
+        assert total == pytest.approx(vals.sum())
+        per_router = sum(eng.fabric.router(x, y).words_moved
+                        for y in range(3) for x in range(4))
+        assert per_router == eng.fabric.total_words_moved > 0
